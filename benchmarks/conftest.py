@@ -1,0 +1,53 @@
+"""Shared benchmark fixtures: application spike graphs, built once.
+
+Durations are bench-tuned (shorter than the examples) so the whole
+harness finishes in minutes while keeping enough spikes for stable
+statistics.  Every graph is session-scoped: the SNN simulation (the
+CARLsim stage) runs once per app regardless of how many benches use it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_application
+
+BENCH_SEED = 2018  # the paper's year; fixed for reproducibility
+
+
+@pytest.fixture(scope="session")
+def hello_world_graph():
+    return build_application("hello_world", seed=BENCH_SEED,
+                             duration_ms=500.0)
+
+
+@pytest.fixture(scope="session")
+def image_smoothing_graph():
+    return build_application("image_smoothing", seed=BENCH_SEED,
+                             duration_ms=150.0)
+
+
+@pytest.fixture(scope="session")
+def digit_recognition_graph():
+    return build_application(
+        "digit_recognition", seed=BENCH_SEED, duration_ms=150.0,
+        n_training_samples=2, train_ms_per_sample=80.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def heartbeat_graph():
+    return build_application("heartbeat", seed=BENCH_SEED,
+                             duration_ms=3000.0)
+
+
+@pytest.fixture(scope="session")
+def synthetic_graphs():
+    """The paper's plotted synthetic topologies: 1x200, 1x600, 3x200, 4x200."""
+    shapes = [(1, 200), (1, 600), (3, 200), (4, 200)]
+    return {
+        f"synth_{m}x{n}": build_application(
+            f"synth_{m}x{n}", seed=BENCH_SEED, duration_ms=400.0
+        )
+        for m, n in shapes
+    }

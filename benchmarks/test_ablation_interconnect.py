@@ -1,0 +1,110 @@
+"""Ablation: interconnect family and fault robustness.
+
+Part of the paper's architecture discussion (Section II lists NoC-tree
+for CxQuad and NoC-mesh for TrueNorth/HiCANN).  For a fixed mapped
+application this bench compares tree / mesh / star fabrics on latency,
+energy and congestion balance, then injects link faults into the mesh
+(the only family with redundant paths) and measures the rerouting cost.
+
+Expected shapes:
+
+- every family delivers all traffic (deterministic routing is complete);
+- the star concentrates load on hub links (highest load imbalance);
+- the mesh survives link faults with zero loss and non-decreasing
+  worst-case latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PSOConfig, map_snn
+from repro.hardware.presets import custom
+from repro.metrics.congestion import congestion_report
+from repro.noc.faults import inject_random_faults
+from repro.noc.interconnect import Interconnect
+from repro.noc.routing import shortest_path_routing
+from repro.noc.traffic import build_injections
+from repro.utils.tables import format_table
+
+PSO_CFG = PSOConfig(n_particles=50, n_iterations=30)
+N_CROSSBARS = 8
+CAPACITY = 16
+
+
+def _run(graph):
+    results = {}
+    for family in ("tree", "mesh", "star"):
+        arch = custom(N_CROSSBARS, CAPACITY, interconnect=family,
+                      cycles_per_ms=5.0, name=family)
+        mapping = map_snn(graph, arch, method="pso", seed=7,
+                          pso_config=PSO_CFG)
+        topology = arch.build_topology()
+        schedule = build_injections(graph, mapping.assignment, topology,
+                                    cycles_per_ms=arch.cycles_per_ms)
+        stats = Interconnect(topology).simulate(schedule.injections)
+        results[family] = {
+            "stats": stats,
+            "energy_pj": arch.energy.global_energy_pj(stats),
+            "congestion": congestion_report(stats, topology),
+            "schedule": schedule,
+            "topology": topology,
+        }
+    # Fault sweep on the mesh.
+    mesh = results["mesh"]
+    fault_rows = []
+    for n_faults in (1, 2, 3):
+        topo, _ = inject_random_faults(mesh["topology"], n_faults, seed=3)
+        stats = Interconnect(
+            topo, routing=shortest_path_routing(topo)
+        ).simulate(mesh["schedule"].injections)
+        fault_rows.append((n_faults, stats))
+    return results, fault_rows
+
+
+def test_interconnect_family_and_faults(benchmark, heartbeat_graph):
+    results, fault_rows = benchmark.pedantic(
+        _run, args=(heartbeat_graph,), rounds=1, iterations=1
+    )
+
+    rows = [
+        (
+            family,
+            r["stats"].max_latency(),
+            f"{r['stats'].mean_latency():.1f}",
+            f"{r['energy_pj'] * 1e-6:.4f}",
+            r["congestion"].max_link_load,
+            f"{r['congestion'].gini:.2f}",
+        )
+        for family, r in results.items()
+    ]
+    print()
+    print("Ablation — interconnect families (heartbeat, 8 crossbars)")
+    print(format_table(
+        ["family", "max lat (cy)", "mean lat (cy)", "energy (uJ)",
+         "peak link load", "load gini"],
+        rows,
+    ))
+
+    f_rows = [
+        (n, s.max_latency(), f"{s.mean_latency():.1f}", s.undelivered_count)
+        for n, s in fault_rows
+    ]
+    print()
+    print("Fault sweep on the mesh")
+    print(format_table(
+        ["faults", "max lat (cy)", "mean lat (cy)", "undelivered"], f_rows
+    ))
+
+    # All families deliver everything.
+    for family, r in results.items():
+        assert r["stats"].undelivered_count == 0, family
+
+    # The star's hub funnels everything: its load imbalance tops the tree's
+    # leaf-distributed links and the mesh's many alternatives.
+    assert (results["star"]["congestion"].gini
+            >= results["mesh"]["congestion"].gini)
+
+    # Faulted mesh still delivers everything.
+    for n, stats in fault_rows:
+        assert stats.undelivered_count == 0, f"{n} faults lost packets"

@@ -1,0 +1,80 @@
+"""Ablation: multicast (Noxim++ extension #3) versus unicast delivery.
+
+The paper extends Noxim with multicast so one AER packet reaches a subset
+of crossbars.  This bench maps an application once, then replays the same
+injection schedule with multicast on and off.  Expected shape: multicast
+never increases link traversals (it shares trunk links), so interconnect
+energy drops; delivered spike sets are identical either way.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PSOConfig, map_snn
+from repro.hardware.presets import architecture_for
+from repro.noc.interconnect import Interconnect, NocConfig
+from repro.noc.traffic import build_injections
+from repro.utils.tables import format_table
+
+PSO_CFG = PSOConfig(n_particles=50, n_iterations=30)
+
+
+def _run(graph):
+    per_xbar = max(16, -(-graph.n_neurons // 8))  # more crossbars -> fanout
+    arch = architecture_for(graph.n_neurons, neurons_per_crossbar=per_xbar,
+                            interconnect="tree", name=graph.name)
+    mapping = map_snn(graph, arch, method="pso", seed=7, pso_config=PSO_CFG)
+    topology = arch.build_topology()
+    schedule = build_injections(graph, mapping.assignment, topology,
+                                cycles_per_ms=arch.cycles_per_ms)
+    out = {}
+    for multicast in (True, False):
+        ic = Interconnect(topology, config=NocConfig(multicast=multicast))
+        stats = ic.simulate(schedule.injections)
+        assert stats.undelivered_count == 0
+        out[multicast] = {
+            "hops": stats.total_hops(),
+            "energy_pj": arch.energy.global_energy_pj(stats),
+            "max_latency": stats.max_latency(),
+            "delivered": {(r.uid, r.dst_node) for r in stats.deliveries},
+        }
+    return out
+
+
+def _run_all(workloads):
+    return {name: _run(g) for name, g in workloads.items()}
+
+
+@pytest.fixture(scope="module")
+def multicast_workloads(hello_world_graph, heartbeat_graph):
+    return {"hello_world": hello_world_graph, "heartbeat": heartbeat_graph}
+
+
+def test_multicast_ablation(benchmark, multicast_workloads):
+    results = benchmark.pedantic(
+        _run_all, args=(multicast_workloads,), rounds=1, iterations=1
+    )
+
+    rows = []
+    for name, r in results.items():
+        for mode, label in ((True, "multicast"), (False, "unicast")):
+            rows.append((
+                name, label, r[mode]["hops"],
+                f"{r[mode]['energy_pj'] * 1e-6:.4f}",
+                r[mode]["max_latency"],
+            ))
+        rows.append(("", "", "", "", ""))
+    print()
+    print("Ablation — multicast vs unicast on the global interconnect")
+    print(format_table(
+        ["workload", "mode", "link hops", "energy (uJ)", "max latency (cy)"],
+        rows,
+    ))
+
+    for name, r in results.items():
+        # Same spikes reach the same destinations either way.
+        assert r[True]["delivered"] == r[False]["delivered"], name
+        # Multicast shares trunks: hop count and energy can only drop.
+        assert r[True]["hops"] <= r[False]["hops"], name
+        assert r[True]["energy_pj"] <= r[False]["energy_pj"], name

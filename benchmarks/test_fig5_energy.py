@@ -1,0 +1,118 @@
+"""Fig. 5: normalized interconnect energy, NEUTRAMS vs PACMAN vs PSO.
+
+The paper evaluates 8 synthetic topologies (plotting 1x200, 1x600, 3x200,
+4x200) plus the four realistic applications, normalizing each workload's
+interconnect energy to NEUTRAMS.  Expected shape (paper Section V-A):
+
+- PSO achieves the minimum energy of the three on every workload;
+- improvements shrink as synapse density grows (4x200 is nearly a tie,
+  1x200 shows the largest gain).
+
+Energy uses the paper-literal per-synapse accounting (Eq. 7-8: every
+crossing synapse spike pays hop + endpoint energy independently) and the
+PSO optimizes the paper's literal Eq. 8 spike objective — this bench
+reproduces the paper's own cost model.  The multicast-aware packet
+accounting is exercised by Table II (full NoC simulation) and the fitness
+ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.core import PSOConfig, map_snn
+from repro.framework.exploration import estimate_synapse_energy_pj
+from repro.hardware.presets import architecture_for
+from repro.utils.tables import format_table
+
+PSO_BENCH = PSOConfig(n_particles=80, n_iterations=40)
+METHODS = ("neutrams", "pacman", "pso")
+
+
+def _arch_for(graph):
+    """Platform sized so every workload needs 4-8 crossbars (as on CxQuad)."""
+    per_xbar = max(16, -(-graph.n_neurons // 6))
+    return architecture_for(graph.n_neurons, neurons_per_crossbar=per_xbar,
+                            interconnect="tree", name=graph.name)
+
+
+def _energies(graph) -> Dict[str, float]:
+    arch = _arch_for(graph)
+    out = {}
+    for method in METHODS:
+        result = map_snn(graph, arch, method=method, seed=7,
+                         pso_config=PSO_BENCH, objective="spikes")
+        out[method] = estimate_synapse_energy_pj(
+            graph, result.assignment, arch
+        )
+    return out
+
+
+def _run_all(workloads) -> Dict[str, Dict[str, float]]:
+    return {name: _energies(graph) for name, graph in workloads.items()}
+
+
+@pytest.fixture(scope="module")
+def fig5_workloads(synthetic_graphs, hello_world_graph, image_smoothing_graph,
+                   digit_recognition_graph, heartbeat_graph):
+    workloads = dict(synthetic_graphs)
+    workloads["HW"] = hello_world_graph
+    workloads["IS"] = image_smoothing_graph
+    workloads["HD"] = digit_recognition_graph
+    workloads["HE"] = heartbeat_graph
+    return workloads
+
+
+def test_fig5_energy_comparison(benchmark, fig5_workloads):
+    results = benchmark.pedantic(
+        _run_all, args=(fig5_workloads,), rounds=1, iterations=1
+    )
+
+    rows = []
+    for name, energies in results.items():
+        ref = energies["neutrams"] or 1.0
+        rows.append((
+            name,
+            f"{energies['neutrams'] / ref:.3f}",
+            f"{energies['pacman'] / ref:.3f}",
+            f"{energies['pso'] / ref:.3f}",
+        ))
+    print()
+    print("Fig. 5 — normalized energy on the global synapse interconnect")
+    print(format_table(
+        ["workload", "NEUTRAMS", "PACMAN", "Proposed PSO"], rows
+    ))
+
+    # Shape assertions (paper Section V-A).  The 5% slack mirrors the
+    # paper's own finding that the three approaches become "comparable"
+    # on dense topologies (4x200: gains below 2%): PSO's objective is
+    # the spike count, while the reported energy additionally weights
+    # spikes by routed hops, so a small inversion within slack is noise.
+    for name, energies in results.items():
+        assert energies["pso"] <= energies["neutrams"] * 1.05, (
+            f"{name}: PSO must not lose to NEUTRAMS"
+        )
+        assert energies["pso"] <= energies["pacman"] * 1.05, (
+            f"{name}: PSO must not lose to PACMAN"
+        )
+
+    # Aggregate dominance: over all workloads PSO is the best of the
+    # three on average (the paper reports 17-33% average gains).
+    mean_norm = {
+        m: sum(e[m] / (e["neutrams"] or 1.0) for e in results.values())
+        / len(results)
+        for m in METHODS
+    }
+    assert mean_norm["pso"] <= mean_norm["pacman"]
+    assert mean_norm["pso"] <= mean_norm["neutrams"]
+
+    # Sparse synthetic (1x200) gains more than dense (4x200).
+    def gain(name):
+        e = results[name]
+        return 1.0 - e["pso"] / e["neutrams"]
+
+    assert gain("synth_1x200") >= gain("synth_4x200") - 0.02, (
+        "sparse topologies should benefit at least as much as dense ones"
+    )

@@ -1,0 +1,74 @@
+"""Fig. 6: architecture exploration on digit recognition.
+
+Sweep the crossbar size from 90 to 1440 neurons (as the paper does),
+mapping with PSO at each point and measuring on the NoC.  Expected shape
+(paper Section V-C):
+
+- global synapse energy *decreases* with crossbar size (more synapses fit
+  locally);
+- local synapse energy *increases* (wordlines get longer and more events
+  stay on-tile);
+- worst-case global latency decreases (less congestion);
+- total energy has its minimum at an intermediate size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PSOConfig
+from repro.framework.exploration import explore_architecture
+from repro.hardware.presets import custom
+from repro.utils.tables import format_table
+
+CROSSBAR_SIZES = [90, 180, 360, 720, 1080, 1440]
+PSO_BENCH = PSOConfig(n_particles=50, n_iterations=30)
+
+
+def _run_sweep(graph):
+    base = custom(n_crossbars=4, neurons_per_crossbar=256,
+                  interconnect="tree", name="fig6")
+    return explore_architecture(
+        graph, base, crossbar_sizes=CROSSBAR_SIZES, method="pso", seed=7,
+        pso_config=PSO_BENCH,
+    )
+
+
+def test_fig6_architecture_exploration(benchmark, digit_recognition_graph):
+    points = benchmark.pedantic(
+        _run_sweep, args=(digit_recognition_graph,), rounds=1, iterations=1
+    )
+
+    rows = [
+        (p.neurons_per_crossbar, p.n_crossbars, f"{p.local_energy_uj:.3f}",
+         f"{p.global_energy_uj:.3f}", f"{p.total_energy_uj:.3f}",
+         p.max_latency_cycles)
+        for p in points
+    ]
+    print()
+    print("Fig. 6 — architecture exploration (digit recognition)")
+    print(format_table(
+        ["neurons/xbar", "crossbars", "local uJ", "global uJ", "total uJ",
+         "latency (cy)"],
+        rows,
+    ))
+
+    first, last = points[0], points[-1]
+
+    # Global energy falls as crossbars grow.
+    assert last.global_energy_uj < first.global_energy_uj
+
+    # Local energy rises as crossbars grow.
+    assert last.local_energy_uj > first.local_energy_uj
+
+    # Worst-case interconnect latency falls (less congestion).
+    assert last.max_latency_cycles <= first.max_latency_cycles
+
+    # Global spike count is monotone non-increasing across the sweep
+    # (each size step only adds mapping freedom).
+    globals_ = [p.global_spikes for p in points]
+    for a, b in zip(globals_, globals_[1:]):
+        assert b <= a * 1.10, "global traffic should trend down with size"
+
+    # The largest crossbar hosts everything: traffic goes to zero.
+    assert last.global_spikes == 0.0

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Architecture exploration: few large crossbars vs many small ones.
+
+Reproduces the paper's Section V-C study (Fig. 6) on the digit-recognition
+application: sweep the crossbar size, map with PSO at each point, and
+report local/global/total synapse energy plus worst-case interconnect
+latency.  The interesting output is the *sweet spot* — the intermediate
+crossbar size minimizing total energy.
+
+Run:  python examples/architecture_exploration.py
+"""
+
+from repro.apps import build_application
+from repro.core import PSOConfig
+from repro.framework import explore_architecture
+from repro.hardware.presets import custom
+from repro.utils.tables import format_table
+
+CROSSBAR_SIZES = [90, 180, 360, 720, 1080, 1440]
+
+
+def main() -> None:
+    print("Simulating digit recognition (Diehl & Cook, 784+250+250 neurons)...")
+    graph = build_application(
+        "digit_recognition", seed=3, duration_ms=200.0,
+        n_training_samples=2, train_ms_per_sample=100.0,
+    )
+    print(graph.describe())
+
+    base = custom(n_crossbars=4, neurons_per_crossbar=256,
+                  interconnect="tree", name="explore")
+    points = explore_architecture(
+        graph, base, crossbar_sizes=CROSSBAR_SIZES, method="pso", seed=7,
+        pso_config=PSOConfig(n_particles=40, n_iterations=30),
+    )
+
+    rows = [
+        (
+            p.neurons_per_crossbar,
+            p.n_crossbars,
+            f"{p.local_energy_uj:.2f}",
+            f"{p.global_energy_uj:.2f}",
+            f"{p.total_energy_uj:.2f}",
+            p.max_latency_cycles,
+        )
+        for p in points
+    ]
+    print()
+    print(format_table(
+        ["neurons/xbar", "crossbars", "local uJ", "global uJ", "total uJ",
+         "max latency (cy)"],
+        rows,
+    ))
+
+    best = min(points, key=lambda p: p.total_energy_uj)
+    print()
+    print(
+        f"Sweet spot: {best.neurons_per_crossbar} neurons/crossbar "
+        f"({best.n_crossbars} crossbars) at {best.total_energy_uj:.2f} uJ total"
+    )
+
+
+if __name__ == "__main__":
+    main()

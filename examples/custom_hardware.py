@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Custom platforms: config files, interconnect families, link faults.
+
+Three platform-engineering workflows on one application:
+
+1. define a platform in a config file (the paper's Noxim "external
+   loaded YAML" workflow) and map onto it;
+2. compare interconnect families (CxQuad's NoC-tree vs a TrueNorth-style
+   NoC-mesh vs a star) for the same mapped network;
+3. inject link faults into the mesh and measure the latency cost of
+   rerouted traffic — the robustness margin of the mapping.
+
+Run:  python examples/custom_hardware.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.apps import build_application
+from repro.core import PSOConfig, map_snn
+from repro.framework import run_pipeline
+from repro.hardware.config import load_architecture, save_architecture
+from repro.hardware.presets import custom
+from repro.metrics.congestion import congestion_report
+from repro.noc.faults import inject_random_faults
+from repro.noc.interconnect import Interconnect
+from repro.noc.routing import shortest_path_routing
+from repro.noc.traffic import build_injections
+from repro.utils.tables import format_table
+
+CONFIG_TEXT = """\
+# An 8-tile experimental platform.
+name: octa
+n_crossbars: 8
+neurons_per_crossbar: 16
+interconnect: mesh
+cycles_per_ms: 5.0
+energy:
+  e_local_event_pj: 1.2
+  reference_crossbar_size: 128
+  e_router_pj: 6.0
+  e_link_pj: 3.0
+  e_encode_pj: 2.0
+  e_decode_pj: 2.0
+"""
+
+
+def main() -> None:
+    # 1. Platform from a config file.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "octa.yaml"
+        path.write_text(CONFIG_TEXT, encoding="utf-8")
+        arch = load_architecture(path)
+        print(f"Loaded platform from config: {arch.describe()}")
+        # Round-trip: the file regenerates from the object.
+        save_architecture(arch, path)
+
+    graph = build_application("heartbeat", seed=8, duration_ms=4000.0)
+    print(graph.describe())
+
+    # 2. Interconnect family comparison for the same workload.
+    print()
+    rows = []
+    for family in ("tree", "mesh", "star"):
+        fam_arch = custom(8, 16, interconnect=family,
+                          cycles_per_ms=5.0, name=family)
+        result = run_pipeline(
+            graph, fam_arch, method="pso", seed=3,
+            pso_config=PSOConfig(n_particles=60, n_iterations=30),
+        )
+        report = congestion_report(result.noc_stats,
+                                   fam_arch.build_topology())
+        rows.append((
+            family,
+            result.report.max_latency_cycles,
+            f"{result.report.global_energy_pj * 1e-6:.4f}",
+            report.max_link_load,
+            f"{report.gini:.2f}",
+        ))
+    print(format_table(
+        ["interconnect", "max latency (cy)", "energy (uJ)",
+         "peak link load", "load gini"],
+        rows,
+    ))
+
+    # 3. Fault injection on the mesh.
+    print()
+    mesh_arch = custom(8, 16, interconnect="mesh", cycles_per_ms=5.0,
+                       name="mesh")
+    mapping = map_snn(graph, mesh_arch, method="pso", seed=3,
+                      pso_config=PSOConfig(n_particles=60, n_iterations=30))
+    topology = mesh_arch.build_topology()
+    schedule = build_injections(graph, mapping.assignment, topology,
+                                cycles_per_ms=mesh_arch.cycles_per_ms)
+    rows = []
+    for n_faults in (0, 1, 2, 3):
+        if n_faults == 0:
+            topo, faults = topology, []
+        else:
+            topo, faults = inject_random_faults(topology, n_faults, seed=4)
+        stats = Interconnect(
+            topo, routing=shortest_path_routing(topo)
+        ).simulate(schedule.injections)
+        rows.append((
+            n_faults,
+            str(faults) if faults else "-",
+            stats.max_latency(),
+            f"{stats.mean_latency():.1f}",
+            stats.undelivered_count,
+        ))
+    print(format_table(
+        ["link faults", "failed links", "max latency (cy)",
+         "mean latency (cy)", "undelivered"],
+        rows,
+    ))
+    print()
+    print("The mesh reroutes around every injected fault (0 undelivered);")
+    print("latency grows as detours lengthen paths and concentrate load.")
+
+
+if __name__ == "__main__":
+    main()

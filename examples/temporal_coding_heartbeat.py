@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Temporal coding case study: why ISI distortion matters.
+
+The heartbeat-estimation LSM encodes heart rate in inter-spike intervals,
+so congestion-induced ISI distortion on the global synapse interconnect
+directly corrupts the application's output (paper Section V-B: a 20%
+ISI-distortion reduction improved estimation accuracy by over 5%).
+
+This example:
+
+1. generates a synthetic ECG and runs the LSM;
+2. maps the network two ways (traffic-blind random vs PSO);
+3. simulates the interconnect and compares ISI distortion;
+4. re-estimates the heart rate from the *delivered* spike timing to show
+   the accuracy difference end to end.
+
+Run:  python examples/temporal_coding_heartbeat.py
+"""
+
+import numpy as np
+
+from repro.apps import build_application
+from repro.apps.heartbeat import estimate_rr_from_spikes, heart_rate_accuracy
+from repro.core import PSOConfig
+from repro.framework import run_pipeline
+from repro.hardware.presets import custom
+
+MEAN_RR_MS = 800.0
+
+
+def delivered_spike_times(result, cycles_per_ms: float) -> np.ndarray:
+    """Pool the delivery times (ms) of all spikes that crossed the NoC."""
+    return np.asarray(
+        [r.delivered_cycle / cycles_per_ms for r in result.noc_stats.deliveries]
+    )
+
+
+def main() -> None:
+    print("Generating synthetic ECG and running the 64-neuron liquid...")
+    graph = build_application(
+        "heartbeat", seed=21, duration_ms=8000.0, mean_rr_ms=MEAN_RR_MS
+    )
+    print(graph.describe())
+
+    # Small crossbars + slow NoC clock make congestion visible.
+    arch = custom(n_crossbars=8, neurons_per_crossbar=16,
+                  interconnect="tree", cycles_per_ms=5.0, name="wearable")
+
+    print()
+    for method in ("random", "pso"):
+        result = run_pipeline(
+            graph, arch, method=method, seed=4,
+            pso_config=PSOConfig(n_particles=80, n_iterations=40),
+        )
+        report = result.report
+        delivered = delivered_spike_times(result, arch.cycles_per_ms)
+        rr = estimate_rr_from_spikes(delivered) if delivered.size else float("nan")
+        accuracy = heart_rate_accuracy(MEAN_RR_MS, rr)
+        print(
+            f"{method:8s}  global spikes = {report.global_spikes:8.0f}   "
+            f"ISI distortion = {report.isi_distortion_cycles:6.2f} cy   "
+            f"disorder = {report.disorder_percent:5.2f}%   "
+            f"RR estimate from delivered spikes = {rr:7.1f} ms "
+            f"(accuracy {accuracy:.1%})"
+        )
+
+    print()
+    print("PSO keeps beat-locked flows local, so the delivered spike")
+    print("timing preserves the inter-beat intervals the readout decodes.")
+
+
+if __name__ == "__main__":
+    main()

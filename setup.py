@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment has no network access and no ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build.  ``python setup.py
+develop`` installs the package in editable mode without requiring wheel.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro — SNN local/global synapse mapping on neuromorphic hardware.
+
+Reproduction of Das et al., *Mapping of Local and Global Synapses on
+Spiking Neuromorphic Hardware*, DATE 2018.
+
+Subpackages
+-----------
+- :mod:`repro.snn` — SNN simulation substrate (CARLsim substitute)
+- :mod:`repro.noc` — cycle-accurate interconnect (Noxim++ substitute)
+- :mod:`repro.hardware` — crossbar platform model (CxQuad-like)
+- :mod:`repro.core` — PSO partitioning (the contribution) + baselines
+- :mod:`repro.metrics` — ISI distortion, disorder, congestion, reports
+- :mod:`repro.framework` — the Fig. 4 pipeline, explorations, CLI
+- :mod:`repro.apps` — Table I applications + synthetic workloads
+
+Quickstart
+----------
+>>> from repro.apps import build_application
+>>> from repro.framework import run_pipeline
+>>> from repro.hardware.presets import custom
+>>> graph = build_application("hello_world", seed=42, duration_ms=200.0)
+>>> arch = custom(n_crossbars=4, neurons_per_crossbar=40)
+>>> result = run_pipeline(graph, arch, method="pso", seed=1)
+>>> result.report.disorder_fraction <= 1.0
+True
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.mapper import MappingResult, compare_methods, map_snn
+from repro.framework.pipeline import PipelineResult, run_pipeline
+
+__all__ = [
+    "__version__",
+    "map_snn",
+    "compare_methods",
+    "MappingResult",
+    "run_pipeline",
+    "PipelineResult",
+]

@@ -1,0 +1,8 @@
+"""Package entry point: ``python -m repro <subcommand>``."""
+
+import sys
+
+from repro.framework.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

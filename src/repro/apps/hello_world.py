@@ -1,0 +1,47 @@
+"""CARLsim-native "hello world" application (paper Table I, row 1).
+
+A small rate-coded feedforward network — topology (117, 9): 117 input
+spike generators driving 9 output neurons through full connectivity with
+randomized weights.  Small enough to fit a single CxQuad crossbar, it only
+produces global traffic on architectures with smaller tiles — exactly the
+regime the paper's Fig. 5/Table II evaluates it in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.snn.generators import PoissonSource
+from repro.snn.graph import SpikeGraph
+from repro.snn.network import Network
+from repro.snn.neuron import LIFModel
+from repro.snn.simulator import Simulation
+from repro.utils.rng import SeedLike, default_rng, derive_seed
+
+N_INPUTS = 117
+N_OUTPUTS = 9
+
+
+def build_hello_world_network(seed: SeedLike = None) -> Network:
+    """117 Poisson generators (10-50 Hz) fully connected to 9 LIF neurons."""
+    rng = default_rng(seed)
+    net = Network("hello_world")
+    rates = rng.uniform(10.0, 50.0, size=N_INPUTS)
+    inputs = net.add_source("input", PoissonSource(N_INPUTS, rates), layer=0)
+    model = LIFModel()
+    outputs = net.add_population("output", N_OUTPUTS, model, layer=1)
+    # Mean drive: 117 inputs x ~30 Hz -> 3.5 spikes/ms; weight ~8 gives a
+    # mean current ~28, ~1.9x rheobase, for mid-range output rates.
+    weights = rng.uniform(4.0, 12.0, size=(N_INPUTS, N_OUTPUTS))
+    net.connect(inputs, outputs, weights=weights, name="in->out")
+    return net
+
+
+def build_hello_world(
+    seed: SeedLike = None, duration_ms: float = 500.0
+) -> SpikeGraph:
+    """Simulate hello world and return its spike graph."""
+    net = build_hello_world_network(seed=seed)
+    sim = Simulation(net, seed=derive_seed(seed, 1))
+    result = sim.run(duration_ms)
+    return SpikeGraph.from_simulation(net, result, coding="rate")

@@ -1,0 +1,45 @@
+"""Application registry: Table I names -> spike-graph builders.
+
+Accepts the paper's long names, the two-letter abbreviations it uses in
+Fig. 5 (HW, IS, HD, HE), and "synth_MxN" labels for the synthetic
+topologies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.apps.digit_recognition import build_digit_recognition
+from repro.apps.heartbeat import build_heartbeat
+from repro.apps.hello_world import build_hello_world
+from repro.apps.image_smoothing import build_image_smoothing
+from repro.apps.synthetic import build_synthetic, parse_synthetic_name
+from repro.snn.graph import SpikeGraph
+from repro.utils.rng import SeedLike
+
+APPLICATIONS: Dict[str, Callable[..., SpikeGraph]] = {
+    "hello_world": build_hello_world,
+    "image_smoothing": build_image_smoothing,
+    "digit_recognition": build_digit_recognition,
+    "heartbeat": build_heartbeat,
+}
+
+ABBREVIATIONS = {
+    "HW": "hello_world",
+    "IS": "image_smoothing",
+    "HD": "digit_recognition",
+    "HE": "heartbeat",
+}
+
+
+def build_application(name: str, seed: SeedLike = None, **kwargs) -> SpikeGraph:
+    """Build any registered application (or synth_MxN) by name."""
+    canonical = ABBREVIATIONS.get(name, name)
+    if canonical in APPLICATIONS:
+        return APPLICATIONS[canonical](seed=seed, **kwargs)
+    parsed = parse_synthetic_name(canonical)
+    if parsed is not None:
+        m, n = parsed
+        return build_synthetic(m, n, seed=seed, **kwargs)
+    options = sorted(APPLICATIONS) + sorted(ABBREVIATIONS) + ["synth_MxN"]
+    raise KeyError(f"unknown application {name!r}; options: {options}")

@@ -1,0 +1,56 @@
+"""The paper's contribution: PSO-based local/global synapse partitioning.
+
+Given a trained SNN's :class:`~repro.snn.graph.SpikeGraph` and an
+:class:`~repro.hardware.Architecture`, the partitioner assigns every neuron
+to a crossbar.  Synapses whose endpoints share a crossbar become *local*
+(free); the rest become *global* and load the time-multiplexed
+interconnect.  The optimization objective (paper Eq. 8) is the total spike
+count crossing crossbar boundaries.
+
+Public API
+----------
+- :class:`Partition` — a validated neuron→crossbar assignment
+- :class:`TrafficMatrix` / :func:`cluster_traffic` — Eqs. 6–7
+- :class:`InterconnectFitness` — Eq. 8, vectorized over swarms
+- :class:`BinaryPSO` / :class:`PSOConfig` — Eqs. 1–3 with capacity repair
+- :func:`map_snn` — one-call mapping with method selection
+- Baselines: :func:`pacman_partition`, :func:`neutrams_partition`,
+  :func:`random_partition`, :func:`greedy_partition`,
+  :func:`annealing_partition`
+"""
+
+from repro.core.partition import Partition, repair_assignment
+from repro.core.traffic_matrix import TrafficMatrix, cluster_traffic
+from repro.core.fitness import InterconnectFitness
+from repro.core.pso import BinaryPSO, PSOConfig, PSOResult
+from repro.core.mapper import MappingResult, compare_methods, map_snn
+from repro.core.placement import apply_placement, place_clusters, placement_cost
+from repro.core.baselines import (
+    annealing_partition,
+    greedy_partition,
+    neutrams_partition,
+    pacman_partition,
+    random_partition,
+)
+
+__all__ = [
+    "Partition",
+    "repair_assignment",
+    "TrafficMatrix",
+    "cluster_traffic",
+    "InterconnectFitness",
+    "BinaryPSO",
+    "PSOConfig",
+    "PSOResult",
+    "MappingResult",
+    "map_snn",
+    "compare_methods",
+    "place_clusters",
+    "apply_placement",
+    "placement_cost",
+    "pacman_partition",
+    "neutrams_partition",
+    "random_partition",
+    "greedy_partition",
+    "annealing_partition",
+]

@@ -1,0 +1,29 @@
+"""Comparison partitioners.
+
+- :func:`pacman_partition` — the paper's main comparison point: PACMAN's
+  hierarchical population splitter adapted to crossbars.
+- :func:`neutrams_partition` — the ad-hoc NEUTRAMS-style mapping:
+  connectivity-aware but spike-traffic-unaware.
+- :func:`random_partition` — random feasible placement (sanity floor).
+- :func:`greedy_partition` — traffic-greedy edge clustering (ablation).
+- :func:`annealing_partition` — simulated annealing on the same objective
+  (the optimizer family the paper argues PSO beats on convergence).
+"""
+
+from repro.core.baselines.pacman import pacman_partition
+from repro.core.baselines.neutrams import neutrams_partition
+from repro.core.baselines.random_map import random_partition
+from repro.core.baselines.greedy import greedy_partition
+from repro.core.baselines.annealing import AnnealingConfig, annealing_partition
+from repro.core.baselines.genetic import GAConfig, genetic_partition
+
+__all__ = [
+    "pacman_partition",
+    "neutrams_partition",
+    "random_partition",
+    "greedy_partition",
+    "annealing_partition",
+    "AnnealingConfig",
+    "genetic_partition",
+    "GAConfig",
+]

@@ -1,0 +1,18 @@
+"""Random feasible placement — the sanity floor every heuristic must beat."""
+
+from __future__ import annotations
+
+from repro.core.partition import Partition, random_assignment
+from repro.snn.graph import SpikeGraph
+from repro.utils.rng import SeedLike
+
+
+def random_partition(
+    graph: SpikeGraph,
+    n_clusters: int,
+    capacity: int,
+    seed: SeedLike = None,
+) -> Partition:
+    """Uniform random assignment with capacity repair."""
+    assignment = random_assignment(graph.n_neurons, n_clusters, capacity, rng=seed)
+    return Partition(assignment=assignment, n_clusters=n_clusters, capacity=capacity)

@@ -1,0 +1,155 @@
+"""Partition representation and constraint handling (paper Eqs. 4-5).
+
+A partition assigns every neuron to exactly one crossbar (Eq. 4) without
+exceeding any crossbar's capacity (Eq. 5).  We store the assignment densely
+as an int array ``assignment[neuron] -> crossbar`` — equivalent to the
+paper's binary ``x_{i,k}`` matrix with the one-hot constraint built into
+the representation — and enforce capacity by explicit validation plus a
+repair operator used by the stochastic optimizers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, default_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A validated neuron→crossbar assignment.
+
+    Attributes
+    ----------
+    assignment:
+        ``assignment[i]`` is the crossbar index of neuron ``i``.
+    n_clusters:
+        Number of crossbars ``C``.
+    capacity:
+        Per-crossbar neuron capacity ``Nc``.
+    """
+
+    assignment: np.ndarray
+    n_clusters: int
+    capacity: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "assignment", np.asarray(self.assignment, dtype=np.int64)
+        )
+        check_positive("n_clusters", self.n_clusters)
+        check_positive("capacity", self.capacity)
+        self.validate()
+
+    def validate(self) -> None:
+        a = self.assignment
+        if a.ndim != 1:
+            raise ValueError(f"assignment must be 1-D, got shape {a.shape}")
+        if a.size == 0:
+            raise ValueError("assignment is empty")
+        if a.min() < 0 or a.max() >= self.n_clusters:
+            raise ValueError(
+                f"assignment uses clusters outside [0, {self.n_clusters}): "
+                f"min={a.min()}, max={a.max()}"
+            )
+        sizes = self.cluster_sizes()
+        worst = int(sizes.max())
+        if worst > self.capacity:
+            offenders = np.nonzero(sizes > self.capacity)[0].tolist()
+            raise ValueError(
+                f"crossbars {offenders} exceed capacity {self.capacity} "
+                f"(largest has {worst} neurons)"
+            )
+
+    @property
+    def n_neurons(self) -> int:
+        return int(self.assignment.shape[0])
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Neurons placed on each crossbar."""
+        return np.bincount(self.assignment, minlength=self.n_clusters)
+
+    def one_hot(self) -> np.ndarray:
+        """The paper's binary ``x_{i,k}`` matrix, shape (N, C)."""
+        x = np.zeros((self.n_neurons, self.n_clusters), dtype=np.float64)
+        x[np.arange(self.n_neurons), self.assignment] = 1.0
+        return x
+
+    def neurons_of(self, cluster: int) -> np.ndarray:
+        """Global ids of neurons on crossbar ``cluster``."""
+        return np.nonzero(self.assignment == cluster)[0]
+
+    def utilization(self) -> float:
+        """Mean fraction of used slots across crossbars."""
+        return float(self.n_neurons / (self.n_clusters * self.capacity))
+
+
+def is_feasible(assignment: np.ndarray, n_clusters: int, capacity: int) -> bool:
+    """Check Eqs. 4-5 without raising."""
+    a = np.asarray(assignment)
+    if a.ndim != 1 or a.size == 0:
+        return False
+    if a.min() < 0 or a.max() >= n_clusters:
+        return False
+    return int(np.bincount(a, minlength=n_clusters).max()) <= capacity
+
+
+def repair_assignment(
+    assignment: np.ndarray,
+    n_clusters: int,
+    capacity: int,
+    rng: SeedLike = None,
+    move_cost: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Restore capacity feasibility with minimal disruption.
+
+    Neurons are evicted from over-full crossbars into the emptiest ones.
+    When ``move_cost`` is given (one non-negative value per neuron, e.g.
+    the neuron's total synapse traffic), the *cheapest* neurons move first,
+    so heavily communicating neurons keep their optimizer-chosen placement.
+    Without it, evictees are chosen uniformly at random.
+
+    Returns a new array; the input is never modified.
+    """
+    a = np.asarray(assignment, dtype=np.int64).copy()
+    if a.size > n_clusters * capacity:
+        raise ValueError(
+            f"{a.size} neurons cannot fit in {n_clusters} x {capacity} slots"
+        )
+    rng = default_rng(rng)
+    sizes = np.bincount(a, minlength=n_clusters)
+    overfull = [int(k) for k in np.nonzero(sizes > capacity)[0]]
+    for k in overfull:
+        members = np.nonzero(a == k)[0]
+        excess = int(sizes[k] - capacity)
+        if move_cost is not None:
+            order = members[np.argsort(move_cost[members], kind="stable")]
+        else:
+            order = rng.permutation(members)
+        for neuron in order[:excess]:
+            target = int(np.argmin(sizes))
+            a[neuron] = target
+            sizes[k] -= 1
+            sizes[target] += 1
+    return a
+
+
+def random_assignment(
+    n_neurons: int,
+    n_clusters: int,
+    capacity: int,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Uniform random feasible assignment (optimizer seeding, tests)."""
+    check_positive("n_neurons", n_neurons)
+    if n_neurons > n_clusters * capacity:
+        raise ValueError(
+            f"{n_neurons} neurons cannot fit in {n_clusters} x {capacity} slots"
+        )
+    rng = default_rng(rng)
+    raw = rng.integers(0, n_clusters, size=n_neurons)
+    return repair_assignment(raw, n_clusters, capacity, rng=rng)

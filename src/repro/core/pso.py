@@ -1,0 +1,279 @@
+"""Binary particle swarm optimization for neuron placement (paper Eqs. 1-3).
+
+Each particle is a candidate placement of all ``N`` neurons onto ``C``
+crossbars: a real-valued position matrix over the ``D = N * C`` binary
+dimensions ``x_{i,k}`` of the paper.  Every iteration:
+
+1. positions are *binarized* into a one-hot assignment per neuron —
+   either by sampling proportionally to a sigmoid of the position (the
+   paper's stochastic rule, Eqs. 2-3, adapted to respect the one-neuron-
+   one-crossbar constraint by construction) or by argmax (deterministic
+   variant, kept for the ablation bench);
+2. capacity violations (Eq. 5) are repaired by evicting the
+   cheapest-to-move neurons to under-full crossbars;
+3. the swarm-batched fitness (Eq. 8) scores all particles;
+4. personal/global bests update, and velocities/positions follow Eq. 1
+   with an inertia weight and clamping (standard constriction-style
+   parameters; the paper's phi1/phi2 formulation with velocities retained
+   across iterations).
+
+The one-hot decode makes constraint Eq. 4 structural: no particle can ever
+assign a neuron to two crossbars, so no penalty terms are needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Union
+
+import numpy as np
+
+from repro.core.fitness import InterconnectFitness
+from repro.core.partition import Partition, repair_assignment
+from repro.utils.rng import SeedLike, default_rng
+from repro.utils.validation import check_positive
+
+BatchFitness = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class PSOConfig:
+    """Swarm hyper-parameters.
+
+    The paper fixes ``n_particles=1000, n_iterations=100`` for its main
+    results (Section V-D); smaller swarms trade quality for time exactly as
+    its Fig. 7 shows.  Defaults here are mid-range so unit tests stay fast;
+    benches pass the paper's values explicitly.
+    """
+
+    n_particles: int = 100
+    n_iterations: int = 100
+    inertia: float = 0.729
+    cognitive: float = 1.49445  # phi_1: pull toward the particle's own best
+    social: float = 1.49445     # phi_2: pull toward the swarm's best
+    v_max: float = 6.0
+    x_max: float = 10.0
+    binarization: str = "stochastic"  # or "argmax"
+    early_stop_patience: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        check_positive("n_particles", self.n_particles)
+        check_positive("n_iterations", self.n_iterations)
+        check_positive("v_max", self.v_max)
+        check_positive("x_max", self.x_max)
+        if self.inertia < 0:
+            raise ValueError("inertia must be non-negative")
+        if self.binarization not in ("stochastic", "argmax"):
+            raise ValueError(
+                f"unknown binarization {self.binarization!r}; "
+                "use 'stochastic' or 'argmax'"
+            )
+        if self.early_stop_patience is not None and self.early_stop_patience < 1:
+            raise ValueError("early_stop_patience must be >= 1 when set")
+
+
+@dataclass
+class PSOResult:
+    """Outcome of one swarm run."""
+
+    best_assignment: np.ndarray
+    best_fitness: float
+    history: np.ndarray  # global-best fitness after each iteration
+    n_iterations_run: int
+    n_evaluations: int
+
+    def partition(self, n_clusters: int, capacity: int) -> Partition:
+        return Partition(
+            assignment=self.best_assignment,
+            n_clusters=n_clusters,
+            capacity=capacity,
+        )
+
+
+class BinaryPSO:
+    """PSO over neuron→crossbar assignments.
+
+    Parameters
+    ----------
+    fitness:
+        An :class:`InterconnectFitness` or any callable mapping a (P, N)
+        batch of assignments to (P,) objective values (lower = better).
+    n_neurons, n_clusters, capacity:
+        Problem dimensions (Eqs. 4-5 constraints).
+    move_cost:
+        Optional per-neuron cost used by capacity repair: cheap neurons are
+        evicted first.  The mapper passes each neuron's total spike traffic
+        so hot neurons keep their optimized placement.
+    seed:
+        RNG seed for swarm initialization and stochastic binarization.
+    """
+
+    def __init__(
+        self,
+        fitness: Union[InterconnectFitness, BatchFitness],
+        n_neurons: int,
+        n_clusters: int,
+        capacity: int,
+        config: Optional[PSOConfig] = None,
+        move_cost: Optional[np.ndarray] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive("n_neurons", n_neurons)
+        check_positive("n_clusters", n_clusters)
+        check_positive("capacity", capacity)
+        if n_neurons > n_clusters * capacity:
+            raise ValueError(
+                f"{n_neurons} neurons cannot fit in {n_clusters} x {capacity} slots"
+            )
+        self.n_neurons = n_neurons
+        self.n_clusters = n_clusters
+        self.capacity = capacity
+        self.config = config if config is not None else PSOConfig()
+        self.move_cost = move_cost
+        self.rng = default_rng(seed)
+        if isinstance(fitness, InterconnectFitness):
+            self._evaluate: BatchFitness = fitness.evaluate_batch
+        else:
+            self._evaluate = fitness
+
+    # -- public API --------------------------------------------------------------
+
+    def optimize(
+        self, initial_assignments: Optional[np.ndarray] = None
+    ) -> PSOResult:
+        """Run the swarm and return the best feasible assignment found."""
+        cfg = self.config
+        p, n, c = cfg.n_particles, self.n_neurons, self.n_clusters
+
+        positions = self.rng.uniform(-1.0, 1.0, size=(p, n, c))
+        velocities = self.rng.uniform(-cfg.v_max / 2, cfg.v_max / 2, size=(p, n, c))
+
+        pbest_positions = positions.copy()
+        pbest_fitness = np.full(p, np.inf)
+        gbest_position = positions[0].copy()
+        gbest_fitness = np.inf
+        gbest_assignment = np.zeros(n, dtype=np.int64)
+
+        if initial_assignments is not None:
+            # Warm start: pin leading particles to the seeds AND evaluate
+            # the seeds exactly, so the swarm's global best can never be
+            # worse than any seed (the stochastic decode alone would
+            # almost never reproduce a seed bit-for-bit).
+            seeds = np.atleast_2d(np.asarray(initial_assignments, dtype=np.int64))
+            self._seed_positions(positions, seeds)
+            seeds = self._repair_batch(seeds.copy())
+            seed_fitness = np.asarray(self._evaluate(seeds), dtype=np.float64)
+            onehot_seeds = self._one_hot(seeds)
+            k = min(seeds.shape[0], p)
+            pbest_fitness[:k] = seed_fitness[:k]
+            pbest_positions[:k] = onehot_seeds[:k]
+            best_seed = int(np.argmin(seed_fitness))
+            gbest_fitness = float(seed_fitness[best_seed])
+            gbest_position = onehot_seeds[best_seed].copy()
+            gbest_assignment = seeds[best_seed].copy()
+
+        history: List[float] = []
+        n_evaluations = 0
+        stale = 0
+        iterations_run = 0
+
+        for _ in range(cfg.n_iterations):
+            iterations_run += 1
+            assignments = self._binarize(positions)
+            assignments = self._repair_batch(assignments)
+            fitness = np.asarray(self._evaluate(assignments), dtype=np.float64)
+            n_evaluations += p
+
+            improved = fitness < pbest_fitness
+            pbest_fitness = np.where(improved, fitness, pbest_fitness)
+            onehot = self._one_hot(assignments)
+            pbest_positions[improved] = onehot[improved]
+
+            best_idx = int(np.argmin(fitness))
+            if fitness[best_idx] < gbest_fitness:
+                gbest_fitness = float(fitness[best_idx])
+                gbest_position = onehot[best_idx].copy()
+                gbest_assignment = assignments[best_idx].copy()
+                stale = 0
+            else:
+                stale += 1
+            history.append(gbest_fitness)
+
+            if (
+                cfg.early_stop_patience is not None
+                and stale >= cfg.early_stop_patience
+            ):
+                break
+
+            r1 = self.rng.random(size=(p, n, c))
+            r2 = self.rng.random(size=(p, n, c))
+            velocities = (
+                cfg.inertia * velocities
+                + cfg.cognitive * r1 * (pbest_positions - positions)
+                + cfg.social * r2 * (gbest_position[None, :, :] - positions)
+            )
+            np.clip(velocities, -cfg.v_max, cfg.v_max, out=velocities)
+            positions += velocities
+            np.clip(positions, -cfg.x_max, cfg.x_max, out=positions)
+
+        return PSOResult(
+            best_assignment=gbest_assignment,
+            best_fitness=gbest_fitness,
+            history=np.asarray(history),
+            n_iterations_run=iterations_run,
+            n_evaluations=n_evaluations,
+        )
+
+    # -- internals ------------------------------------------------------------------
+
+    def _binarize(self, positions: np.ndarray) -> np.ndarray:
+        """Decode real positions into one cluster per neuron (Eqs. 2-3)."""
+        if self.config.binarization == "argmax":
+            return positions.argmax(axis=2).astype(np.int64)
+        # Stochastic decode: sample cluster k with probability proportional
+        # to sigmoid(x_{i,k}) — the paper's rand()-vs-sigmoid rule with the
+        # one-hot constraint enforced by sampling exactly one k per neuron.
+        z = 1.0 / (1.0 + np.exp(-positions))
+        cdf = np.cumsum(z, axis=2)
+        totals = cdf[:, :, -1:]
+        u = self.rng.random(size=positions.shape[:2] + (1,)) * totals
+        return (u > cdf).sum(axis=2).astype(np.int64)
+
+    def _repair_batch(self, assignments: np.ndarray) -> np.ndarray:
+        for i in range(assignments.shape[0]):
+            sizes = np.bincount(assignments[i], minlength=self.n_clusters)
+            if sizes.max() > self.capacity:
+                assignments[i] = repair_assignment(
+                    assignments[i],
+                    self.n_clusters,
+                    self.capacity,
+                    rng=self.rng,
+                    move_cost=self.move_cost,
+                )
+        return assignments
+
+    def _one_hot(self, assignments: np.ndarray) -> np.ndarray:
+        p, n = assignments.shape
+        onehot = np.zeros((p, n, self.n_clusters), dtype=np.float64)
+        idx_p = np.repeat(np.arange(p), n)
+        idx_n = np.tile(np.arange(n), p)
+        onehot[idx_p, idx_n, assignments.ravel()] = 1.0
+        # Map {0,1} onto {-x_max/2, +x_max/2}-ish attractors so the pull
+        # toward a best position saturates the sigmoid decisively.
+        return (onehot * 2.0 - 1.0) * (self.config.x_max / 2.0)
+
+    def _seed_positions(
+        self, positions: np.ndarray, initial_assignments: np.ndarray
+    ) -> None:
+        """Overwrite leading particles with provided assignments (warm start)."""
+        if initial_assignments.ndim == 1:
+            initial_assignments = initial_assignments[None, :]
+        k = min(initial_assignments.shape[0], positions.shape[0])
+        for i in range(k):
+            onehot = np.full(
+                (self.n_neurons, self.n_clusters), -self.config.x_max / 2.0
+            )
+            onehot[np.arange(self.n_neurons), initial_assignments[i]] = (
+                self.config.x_max / 2.0
+            )
+            positions[i] = onehot

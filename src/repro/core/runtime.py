@@ -1,0 +1,245 @@
+"""Run-time incremental remapping (the paper's stated future work).
+
+The DATE'18 paper closes with "Run-time SNN mapping will be addressed in
+future": a deployed SNN's spike statistics drift (new stimuli, plasticity,
+sensor changes), so the partition chosen at design time slowly stops being
+optimal.  Recomputing a full PSO at run time is too expensive on-device;
+what a runtime needs is *incremental* repair under a migration budget,
+because moving a neuron between crossbars costs reprogramming its
+memristor rows.
+
+:class:`RuntimeRemapper` maintains the current assignment, accepts updated
+per-synapse traffic observations, and performs bounded greedy epochs: each
+epoch applies up to ``migration_budget`` single-neuron moves, always the
+move with the largest traffic reduction, stopping early when no improving
+move exists.  Every epoch is recorded so callers can audit what moved and
+why.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.partition import Partition, is_feasible
+from repro.core.traffic_matrix import TrafficMatrix
+from repro.snn.graph import SpikeGraph
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Move:
+    """One neuron migration applied by a remap epoch."""
+
+    neuron: int
+    from_cluster: int
+    to_cluster: int
+    gain: float  # traffic removed from the interconnect (positive = good)
+
+
+@dataclass
+class RemapEpoch:
+    """Outcome of one bounded remapping epoch."""
+
+    fitness_before: float
+    fitness_after: float
+    moves: List[Move] = field(default_factory=list)
+
+    @property
+    def improvement(self) -> float:
+        return self.fitness_before - self.fitness_after
+
+    @property
+    def n_migrations(self) -> int:
+        return len(self.moves)
+
+
+class RuntimeRemapper:
+    """Incremental mapping maintenance under a migration budget."""
+
+    def __init__(
+        self,
+        graph: SpikeGraph,
+        n_clusters: int,
+        capacity: int,
+        assignment: np.ndarray,
+        migration_budget: int = 8,
+    ) -> None:
+        check_positive("n_clusters", n_clusters)
+        check_positive("capacity", capacity)
+        check_positive("migration_budget", migration_budget)
+        if not is_feasible(np.asarray(assignment), n_clusters, capacity):
+            raise ValueError("initial assignment is not feasible")
+        self.graph = graph
+        self.n_clusters = n_clusters
+        self.capacity = capacity
+        self.migration_budget = migration_budget
+        self.assignment = np.asarray(assignment, dtype=np.int64).copy()
+        self.history: List[RemapEpoch] = []
+        self._load_matrix(TrafficMatrix(graph))
+
+    def _load_matrix(self, matrix: TrafficMatrix) -> None:
+        self._matrix = matrix
+        n = self.graph.n_neurons
+        self._incident_out: List[List[int]] = [[] for _ in range(n)]
+        self._incident_in: List[List[int]] = [[] for _ in range(n)]
+        for e in range(matrix.n_pairs):
+            self._incident_out[int(matrix.src[e])].append(e)
+            self._incident_in[int(matrix.dst[e])].append(e)
+
+    # -- observation -------------------------------------------------------------
+
+    def observe_traffic(self, traffic: np.ndarray) -> None:
+        """Replace the per-synapse traffic with fresh observations.
+
+        ``traffic`` must align with ``graph.src/dst`` (one value per
+        synapse of the original graph).  Negative values are rejected.
+        """
+        traffic = np.asarray(traffic, dtype=np.float64)
+        if traffic.shape != self.graph.traffic.shape:
+            raise ValueError(
+                f"traffic has shape {traffic.shape}, expected "
+                f"{self.graph.traffic.shape}"
+            )
+        if (traffic < 0).any():
+            raise ValueError("observed traffic must be non-negative")
+        self.graph.traffic = traffic
+        self._load_matrix(TrafficMatrix(self.graph))
+
+    # -- queries ---------------------------------------------------------------------
+
+    def fitness(self) -> float:
+        """Current interconnect spike traffic (Eq. 8) of the live mapping."""
+        return self._matrix.global_traffic(self.assignment)
+
+    def partition(self) -> Partition:
+        return Partition(
+            assignment=self.assignment.copy(),
+            n_clusters=self.n_clusters,
+            capacity=self.capacity,
+        )
+
+    def _move_gain(self, neuron: int, new_cluster: int) -> float:
+        """Traffic reduction if ``neuron`` moves to ``new_cluster``."""
+        matrix = self._matrix
+        a = self.assignment
+        old = int(a[neuron])
+        gain = 0.0
+        for e in self._incident_out[neuron]:
+            other = int(a[matrix.dst[e]])
+            gain += matrix.traffic[e] * (
+                int(other != old) - int(other != new_cluster)
+            )
+        for e in self._incident_in[neuron]:
+            other = int(a[matrix.src[e]])
+            gain += matrix.traffic[e] * (
+                int(other != old) - int(other != new_cluster)
+            )
+        return float(gain)
+
+    def _best_move(self, sizes: np.ndarray) -> Optional[Tuple[int, int, float]]:
+        best: Optional[Tuple[int, int, float]] = None
+        for neuron in range(self.graph.n_neurons):
+            if not self._incident_out[neuron] and not self._incident_in[neuron]:
+                continue  # isolated neuron: no move can help
+            old = int(self.assignment[neuron])
+            for cluster in range(self.n_clusters):
+                if cluster == old or sizes[cluster] >= self.capacity:
+                    continue
+                gain = self._move_gain(neuron, cluster)
+                if gain > 1e-12 and (best is None or gain > best[2]):
+                    best = (neuron, cluster, gain)
+        return best
+
+    def _swap_gain(self, i: int, j: int) -> float:
+        """Exact traffic reduction of swapping the clusters of i and j."""
+        a = self.assignment
+        ci, cj = int(a[i]), int(a[j])
+        gain = self._move_gain(i, cj)
+        a[i] = cj  # tentative so j's gain sees i already moved
+        gain += self._move_gain(j, ci)
+        a[i] = ci
+        return gain
+
+    def _best_swap(self, top_k: int = 8) -> Optional[Tuple[int, int, float]]:
+        """Best pairwise exchange, found via per-neuron desired moves.
+
+        Capacity-blocked improvements manifest as *desires*: neuron i
+        wants cluster b, neuron j in b wants i's cluster a.  Pairing the
+        strongest opposite desires and scoring the exact swap gain finds
+        the improving exchange without an O(N^2) scan.
+        """
+        desires: dict = {}
+        a = self.assignment
+        for neuron in range(self.graph.n_neurons):
+            if not self._incident_out[neuron] and not self._incident_in[neuron]:
+                continue
+            own = int(a[neuron])
+            for cluster in range(self.n_clusters):
+                if cluster == own:
+                    continue
+                gain = self._move_gain(neuron, cluster)
+                if gain > 1e-12:
+                    desires.setdefault((own, cluster), []).append(
+                        (gain, neuron)
+                    )
+        best: Optional[Tuple[int, int, float]] = None
+        for (ca, cb), forward in desires.items():
+            reverse = desires.get((cb, ca))
+            if not reverse or ca > cb:
+                continue  # unordered pairs once
+            for _, i in sorted(forward, reverse=True)[:top_k]:
+                for _, j in sorted(reverse, reverse=True)[:top_k]:
+                    gain = self._swap_gain(i, j)
+                    if gain > 1e-12 and (best is None or gain > best[2]):
+                        best = (i, j, gain)
+        return best
+
+    # -- the epoch ------------------------------------------------------------------
+
+    def remap_epoch(self) -> RemapEpoch:
+        """Apply the best moves/swaps, up to ``migration_budget`` migrations.
+
+        A swap migrates two neurons and therefore consumes two units of
+        budget; it is only considered when single moves are exhausted or
+        the swap's gain beats the best single move.
+        """
+        epoch = RemapEpoch(fitness_before=self.fitness(),
+                           fitness_after=0.0)
+        sizes = np.bincount(self.assignment, minlength=self.n_clusters)
+        budget = self.migration_budget
+        while budget > 0:
+            move = self._best_move(sizes)
+            swap = self._best_swap() if budget >= 2 else None
+            move_gain = move[2] if move else 0.0
+            swap_gain = swap[2] if swap else 0.0
+            if move is None and swap is None:
+                break
+            if swap is not None and swap_gain > move_gain:
+                i, j, gain = swap
+                ci, cj = int(self.assignment[i]), int(self.assignment[j])
+                self.assignment[i], self.assignment[j] = cj, ci
+                epoch.moves.append(Move(neuron=i, from_cluster=ci,
+                                        to_cluster=cj, gain=gain))
+                epoch.moves.append(Move(neuron=j, from_cluster=cj,
+                                        to_cluster=ci, gain=0.0))
+                budget -= 2
+            else:
+                neuron, cluster, gain = move
+                old = int(self.assignment[neuron])
+                self.assignment[neuron] = cluster
+                sizes[old] -= 1
+                sizes[cluster] += 1
+                epoch.moves.append(
+                    Move(neuron=neuron, from_cluster=old,
+                         to_cluster=cluster, gain=gain)
+                )
+                budget -= 1
+        epoch.fitness_after = self.fitness()
+        self.history.append(epoch)
+        return epoch
+
+    def total_migrations(self) -> int:
+        return sum(e.n_migrations for e in self.history)

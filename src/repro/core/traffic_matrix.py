@@ -1,0 +1,208 @@
+"""Spike-traffic aggregation (paper Eqs. 6-7).
+
+The spike graph gives per-synapse traffic ``T_ij`` (spikes the synapse
+carries).  For a candidate partition we need two aggregates:
+
+- ``cluster_traffic`` — the C x C matrix ``spikes(k1, k2)`` of Eq. 7:
+  spikes crossing from crossbar ``k1`` to ``k2`` (zero diagonal);
+- fast scalar fitness — the off-diagonal sum (Eq. 8), which
+  :mod:`repro.core.fitness` evaluates for whole swarms at once.
+
+:class:`TrafficMatrix` pre-aggregates the graph's edges into unique
+(src, dst) neuron pairs with summed traffic and caches the sparse
+neuron-level matrix used by the vectorized swarm evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.snn.graph import SpikeGraph
+
+try:  # scipy speeds up swarm-batched fitness; the fallback is pure numpy.
+    from scipy import sparse as _sparse
+except ImportError:  # pragma: no cover - scipy is installed in CI
+    _sparse = None
+
+
+class TrafficMatrix:
+    """Neuron-level spike-traffic matrix with cluster aggregation helpers."""
+
+    def __init__(self, graph: SpikeGraph) -> None:
+        self.n_neurons = graph.n_neurons
+        # Per-neuron outgoing spike count, taken from the *raw* edges:
+        # every out-synapse of a neuron carries that neuron's full spike
+        # train, so each raw edge's traffic equals the neuron's spike
+        # count and max() recovers it exactly.  (Computed before pair
+        # merging — merged parallel synapses would double-count.)
+        self.neuron_spikes = np.zeros(self.n_neurons, dtype=np.float64)
+        if graph.src.size:
+            np.maximum.at(self.neuron_spikes, graph.src, graph.traffic)
+        # Merge parallel synapses between the same neuron pair: their
+        # traffic adds, and the optimizer only sees pairwise totals.
+        pair_key = graph.src * graph.n_neurons + graph.dst
+        order = np.argsort(pair_key, kind="stable")
+        key_sorted = pair_key[order]
+        traffic_sorted = graph.traffic[order]
+        unique_keys, starts = np.unique(key_sorted, return_index=True)
+        sums = np.add.reduceat(traffic_sorted, starts) if unique_keys.size else (
+            np.empty(0, dtype=np.float64)
+        )
+        self.src = (unique_keys // graph.n_neurons).astype(np.int64)
+        self.dst = (unique_keys % graph.n_neurons).astype(np.int64)
+        self.traffic = np.asarray(sums, dtype=np.float64)
+        # Self-loops can never be global; drop them from the hot arrays.
+        off_diag = self.src != self.dst
+        self.src = self.src[off_diag]
+        self.dst = self.dst[off_diag]
+        self.traffic = self.traffic[off_diag]
+        self.total = float(self.traffic.sum())
+        self._csr = self._build_sparse(self.traffic)
+        self._adj_csr = self._build_sparse(np.ones_like(self.traffic))
+
+    def _build_sparse(self, values: np.ndarray):
+        if _sparse is None:
+            return None
+        return _sparse.csr_matrix(
+            (values, (self.src, self.dst)),
+            shape=(self.n_neurons, self.n_neurons),
+        )
+
+    @property
+    def n_pairs(self) -> int:
+        return int(self.src.shape[0])
+
+    # -- scalar evaluation ----------------------------------------------------
+
+    def global_traffic(self, assignment: np.ndarray) -> float:
+        """Eq. 8: spikes crossing crossbar boundaries under ``assignment``."""
+        a = np.asarray(assignment)
+        cross = a[self.src] != a[self.dst]
+        return float(self.traffic[cross].sum())
+
+    def local_traffic(self, assignment: np.ndarray) -> float:
+        """Spikes on synapses kept inside a crossbar."""
+        return self.total - self.global_traffic(assignment)
+
+    # -- batched evaluation (one swarm at a time) --------------------------------
+
+    def global_traffic_batch(self, assignments: np.ndarray) -> np.ndarray:
+        """Eq. 8 for a batch of assignments, shape (P, N) -> (P,).
+
+        Uses one sparse-matrix x dense-block product per call when scipy is
+        available: intra-cluster traffic of particle p is
+        ``sum_c x_pc^T W x_pc`` with one-hot columns ``x_pc``.
+        """
+        a = np.asarray(assignments)
+        if a.ndim == 1:
+            return np.asarray([self.global_traffic(a)])
+        n_particles, n = a.shape
+        if n != self.n_neurons:
+            raise ValueError(
+                f"assignments cover {n} neurons, expected {self.n_neurons}"
+            )
+        if self._csr is None or n_particles == 1:
+            return np.asarray([self.global_traffic(row) for row in a])
+        n_clusters = int(a.max()) + 1
+        # One-hot block: columns are (particle, cluster) pairs.
+        cols = (np.arange(n_particles)[:, None] * n_clusters + a).astype(np.int64)
+        x = np.zeros((n, n_particles * n_clusters), dtype=np.float64)
+        x[np.arange(n)[None, :].repeat(n_particles, axis=0).ravel(), cols.ravel()] = 1.0
+        y = self._csr.dot(x)
+        intra = (x * y).sum(axis=0).reshape(n_particles, n_clusters).sum(axis=1)
+        return self.total - intra
+
+    # -- AER packet counting ----------------------------------------------------
+
+    def packet_traffic(self, assignment: np.ndarray) -> float:
+        """AER packets on the interconnect under multicast delivery.
+
+        A neuron reaching k remote crossbars sends each of its spikes as k
+        unicast-equivalent packets — one per (neuron, remote crossbar)
+        flow — regardless of how many synapses land on each crossbar.
+        This is what a multicast AER interconnect actually carries.
+        """
+        a = np.asarray(assignment, dtype=np.int64)
+        src_c = a[self.src]
+        dst_c = a[self.dst]
+        cross = src_c != dst_c
+        if not cross.any():
+            return 0.0
+        n_clusters = int(a.max()) + 1
+        pair = self.src[cross] * n_clusters + dst_c[cross]
+        unique_pairs = np.unique(pair)
+        neurons = unique_pairs // n_clusters
+        return float(self.neuron_spikes[neurons].sum())
+
+    def packet_traffic_batch(self, assignments: np.ndarray) -> np.ndarray:
+        """AER packet counts for a (P, N) batch of assignments.
+
+        One sparse adjacency product per call: ``reach[n, c]`` flags
+        whether neuron n has any target on crossbar c; packets are
+        ``sum_n spikes_n * |reach(n) - {own crossbar}|``.
+        """
+        a = np.asarray(assignments, dtype=np.int64)
+        if a.ndim == 1:
+            return np.asarray([self.packet_traffic(a)])
+        n_particles, n = a.shape
+        if n != self.n_neurons:
+            raise ValueError(
+                f"assignments cover {n} neurons, expected {self.n_neurons}"
+            )
+        if self._adj_csr is None:
+            return np.asarray([self.packet_traffic(row) for row in a])
+        n_clusters = int(a.max()) + 1
+        cols = (np.arange(n_particles)[:, None] * n_clusters + a).astype(np.int64)
+        x = np.zeros((n, n_particles * n_clusters), dtype=np.float64)
+        x[np.arange(n)[None, :].repeat(n_particles, axis=0).ravel(),
+          cols.ravel()] = 1.0
+        reach = (self._adj_csr.dot(x) > 0).astype(np.float64)
+        reach3 = reach.reshape(n, n_particles, n_clusters)
+        total_reach = reach3.sum(axis=2)                      # (n, P)
+        own = np.take_along_axis(
+            reach3, a.T[:, :, None], axis=2
+        )[:, :, 0]                                            # (n, P)
+        remote_clusters = total_reach - own
+        return self.neuron_spikes @ remote_clusters
+
+
+def cluster_traffic(
+    graph: SpikeGraph,
+    assignment: np.ndarray,
+    n_clusters: Optional[int] = None,
+) -> np.ndarray:
+    """Eq. 7: the C x C matrix of spikes between crossbars (zero diagonal)."""
+    a = np.asarray(assignment, dtype=np.int64)
+    if a.shape[0] != graph.n_neurons:
+        raise ValueError(
+            f"assignment covers {a.shape[0]} neurons, graph has {graph.n_neurons}"
+        )
+    c = n_clusters if n_clusters is not None else int(a.max()) + 1
+    src_c = a[graph.src]
+    dst_c = a[graph.dst]
+    cross = src_c != dst_c
+    matrix = np.zeros((c, c), dtype=np.float64)
+    np.add.at(matrix, (src_c[cross], dst_c[cross]), graph.traffic[cross])
+    return matrix
+
+
+def local_global_split(
+    graph: SpikeGraph, assignment: np.ndarray
+) -> Tuple[float, float]:
+    """(local, global) spike-event totals under an assignment."""
+    a = np.asarray(assignment)
+    cross = a[graph.src] != a[graph.dst]
+    global_spikes = float(graph.traffic[cross].sum())
+    return float(graph.traffic.sum()) - global_spikes, global_spikes
+
+
+def synapse_split_counts(
+    graph: SpikeGraph, assignment: np.ndarray
+) -> Tuple[int, int]:
+    """(local, global) synapse *counts* under an assignment."""
+    a = np.asarray(assignment)
+    cross = a[graph.src] != a[graph.dst]
+    n_global = int(cross.sum())
+    return graph.n_synapses - n_global, n_global

@@ -1,0 +1,43 @@
+"""End-to-end mapping framework (paper Fig. 4).
+
+Ties the substrates together: application → SNN simulation → spike graph →
+partitioner → NoC simulation → metric report.
+
+- :func:`run_pipeline` — one (application, architecture, method) run;
+- :mod:`repro.framework.exploration` — the paper's design-space studies
+  (Fig. 6 crossbar-size sweep, Fig. 7 swarm-size sweep);
+- :mod:`repro.framework.experiment` — result records for EXPERIMENTS.md.
+"""
+
+from repro.framework.pipeline import PipelineResult, run_pipeline
+from repro.framework.experiment import ExperimentRecord
+from repro.framework.exploration import (
+    ArchitecturePoint,
+    SwarmPoint,
+    estimate_interconnect_energy_pj,
+    estimate_synapse_energy_pj,
+    explore_architecture,
+    explore_swarm_size,
+)
+from repro.framework.replay import (
+    delivered_spike_trains,
+    perceived_spike_trains,
+    pooled_arrivals_at,
+)
+from repro.framework.reproduce import reproduce
+
+__all__ = [
+    "run_pipeline",
+    "PipelineResult",
+    "ExperimentRecord",
+    "explore_architecture",
+    "explore_swarm_size",
+    "estimate_interconnect_energy_pj",
+    "estimate_synapse_energy_pj",
+    "ArchitecturePoint",
+    "SwarmPoint",
+    "delivered_spike_trains",
+    "perceived_spike_trains",
+    "pooled_arrivals_at",
+    "reproduce",
+]

@@ -1,0 +1,219 @@
+"""Command-line interface.
+
+Gives the mapping flow a no-code entry point::
+
+    python -m repro info
+    python -m repro map --app hello_world --crossbars 4 --capacity 40
+    python -m repro compare --app heartbeat --methods pacman pso
+    python -m repro explore --app hello_world --sizes 16 32 64 128
+    python -m repro map --app synth_2x100 --arch-config my_chip.yaml
+
+Every subcommand prints the same tables the benchmark harness emits, so a
+user can reproduce any paper row from the shell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.apps import APPLICATIONS, build_application
+from repro.apps.registry import ABBREVIATIONS
+from repro.core import PSOConfig
+from repro.core.mapper import METHODS, compare_methods
+from repro.framework.exploration import explore_architecture
+from repro.framework.pipeline import run_pipeline
+from repro.hardware.config import load_architecture
+from repro.hardware.presets import architecture_for, custom
+from repro.utils.tables import format_table
+
+
+def _add_app_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--app", required=True,
+        help="application name (hello_world, image_smoothing, "
+             "digit_recognition, heartbeat, HW/IS/HD/HE, or synth_MxN)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="RNG seed")
+    parser.add_argument(
+        "--duration", type=float, default=None,
+        help="SNN simulation duration in ms (app default when omitted)",
+    )
+
+
+def _add_arch_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--crossbars", type=int, default=None,
+                        help="number of crossbars")
+    parser.add_argument("--capacity", type=int, default=None,
+                        help="neurons per crossbar")
+    parser.add_argument("--interconnect", default="tree",
+                        choices=["tree", "mesh", "star", "torus"])
+    parser.add_argument("--cycles-per-ms", type=float, default=10.0)
+    parser.add_argument("--arch-config", default=None,
+                        help="platform config file (overrides the flags)")
+
+
+def _add_pso_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--particles", type=int, default=100)
+    parser.add_argument("--iterations", type=int, default=50)
+
+
+def _build_graph(args):
+    kwargs = {}
+    if args.duration is not None:
+        kwargs["duration_ms"] = args.duration
+    return build_application(args.app, seed=args.seed, **kwargs)
+
+
+def _build_architecture(args, graph):
+    if args.arch_config:
+        return load_architecture(args.arch_config)
+    if args.crossbars and args.capacity:
+        return custom(args.crossbars, args.capacity,
+                      interconnect=args.interconnect,
+                      cycles_per_ms=args.cycles_per_ms, name="cli")
+    capacity = args.capacity or max(16, -(-graph.n_neurons // 6))
+    return architecture_for(
+        graph.n_neurons, neurons_per_crossbar=capacity,
+        interconnect=args.interconnect, cycles_per_ms=args.cycles_per_ms,
+        name="cli-auto",
+    )
+
+
+def _cmd_info(_args) -> int:
+    print("Applications:")
+    for name in sorted(APPLICATIONS):
+        print(f"  {name}")
+    print("  synth_MxN (e.g. synth_2x200)")
+    print("Abbreviations:", ", ".join(sorted(ABBREVIATIONS)))
+    print("Methods:", ", ".join(METHODS))
+    return 0
+
+
+def _cmd_map(args) -> int:
+    graph = _build_graph(args)
+    arch = _build_architecture(args, graph)
+    print(graph.describe())
+    print(arch.describe())
+    result = run_pipeline(
+        graph, arch, method=args.method, seed=args.seed,
+        pso_config=PSOConfig(n_particles=args.particles,
+                             n_iterations=args.iterations),
+    )
+    print(result.mapping.describe())
+    print(result.noc_stats.describe())
+    print(result.report.table())
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    graph = _build_graph(args)
+    arch = _build_architecture(args, graph)
+    print(graph.describe())
+    print(arch.describe())
+    results = compare_methods(
+        graph, arch, methods=tuple(args.methods), seed=args.seed,
+        pso_config=PSOConfig(n_particles=args.particles,
+                             n_iterations=args.iterations),
+    )
+    rows = [
+        (m, f"{r.fitness:.0f}", f"{r.extras.get('packets', 0):.0f}",
+         r.global_synapses, f"{r.wall_time_s:.2f}")
+        for m, r in results.items()
+    ]
+    print(format_table(
+        ["method", "global spikes", "AER packets", "global synapses",
+         "time (s)"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_explore(args) -> int:
+    graph = _build_graph(args)
+    base = custom(4, max(args.sizes), interconnect=args.interconnect,
+                  cycles_per_ms=args.cycles_per_ms, name="explore")
+    points = explore_architecture(
+        graph, base, crossbar_sizes=args.sizes, method=args.method,
+        seed=args.seed,
+        pso_config=PSOConfig(n_particles=args.particles,
+                             n_iterations=args.iterations),
+    )
+    rows = [
+        (p.neurons_per_crossbar, p.n_crossbars, f"{p.local_energy_uj:.3f}",
+         f"{p.global_energy_uj:.3f}", f"{p.total_energy_uj:.3f}",
+         p.max_latency_cycles)
+        for p in points
+    ]
+    print(format_table(
+        ["neurons/xbar", "crossbars", "local uJ", "global uJ", "total uJ",
+         "latency (cy)"],
+        rows,
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Map SNNs onto crossbar neuromorphic hardware "
+                    "(Das et al., DATE 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list applications and methods")
+
+    p_map = sub.add_parser("map", help="map one application and measure it")
+    _add_app_arguments(p_map)
+    _add_arch_arguments(p_map)
+    _add_pso_arguments(p_map)
+    p_map.add_argument("--method", default="pso", choices=METHODS)
+
+    p_cmp = sub.add_parser("compare", help="compare partitioning methods")
+    _add_app_arguments(p_cmp)
+    _add_arch_arguments(p_cmp)
+    _add_pso_arguments(p_cmp)
+    p_cmp.add_argument("--methods", nargs="+", default=["neutrams", "pacman", "pso"],
+                       choices=METHODS)
+
+    p_exp = sub.add_parser("explore", help="crossbar-size exploration (Fig. 6)")
+    _add_app_arguments(p_exp)
+    _add_arch_arguments(p_exp)
+    _add_pso_arguments(p_exp)
+    p_exp.add_argument("--method", default="pso", choices=METHODS)
+    p_exp.add_argument("--sizes", nargs="+", type=int,
+                       default=[90, 180, 360, 720, 1440])
+
+    p_rep = sub.add_parser(
+        "reproduce", help="regenerate a paper table/figure"
+    )
+    p_rep.add_argument("artifact", choices=["fig5", "table2", "fig6", "fig7"])
+    p_rep.add_argument(
+        "--effort", type=float, default=1.0,
+        help="budget multiplier: 0.5 = quick shape check, 2.0 = thorough",
+    )
+    return parser
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.framework.reproduce import reproduce
+
+    reproduce(args.artifact, effort=args.effort)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "map": _cmd_map,
+        "compare": _cmd_compare,
+        "explore": _cmd_explore,
+        "reproduce": _cmd_reproduce,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Experiment result records.
+
+Benchmarks persist their measured rows as :class:`ExperimentRecord`
+objects so EXPERIMENTS.md can be regenerated from machine-readable data
+and so test assertions can reference the exact same values that were
+printed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+
+@dataclass
+class ExperimentRecord:
+    """One measured data point of one paper experiment."""
+
+    experiment: str             # e.g. "fig5", "table2", "fig6", "fig7"
+    workload: str               # application / topology label
+    method: str                 # partitioner
+    metrics: Dict[str, float] = field(default_factory=dict)
+    parameters: Dict[str, Union[int, float, str]] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ExperimentRecord":
+        return cls(**json.loads(payload))
+
+
+def save_records(records: List[ExperimentRecord], path: Union[str, Path]) -> None:
+    """Append records to a JSON-lines file (one record per line)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(rec.to_json() + "\n")
+
+
+def load_records(path: Union[str, Path]) -> List[ExperimentRecord]:
+    """Load all records from a JSON-lines file; missing file -> empty list."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    records = []
+    with path.open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(ExperimentRecord.from_json(line))
+    return records

@@ -1,0 +1,223 @@
+"""Design-space exploration studies (paper Sections V-C and V-D).
+
+- :func:`explore_architecture` — Fig. 6: sweep crossbar size for a fixed
+  application; report local / global / total synapse energy and worst-case
+  interconnect latency per point.
+- :func:`explore_swarm_size` — Fig. 7: sweep the PSO swarm size at a fixed
+  iteration budget; report the achieved interconnect energy per point
+  (normalized by the sweep's minimum, as the paper plots it).
+
+Both return plain dataclass lists so benches can print the same series the
+paper's figures show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.mapper import map_snn
+from repro.core.pso import PSOConfig
+from repro.framework.pipeline import run_pipeline
+from repro.hardware.architecture import Architecture
+from repro.noc.interconnect import NocConfig
+from repro.noc.routing import routing_for
+from repro.snn.graph import SpikeGraph
+from repro.utils.rng import SeedLike, derive_seed
+
+
+@dataclass(frozen=True)
+class ArchitecturePoint:
+    """One Fig. 6 sweep point."""
+
+    neurons_per_crossbar: int
+    n_crossbars: int
+    local_energy_uj: float
+    global_energy_uj: float
+    total_energy_uj: float
+    max_latency_cycles: int
+    global_spikes: float
+
+
+@dataclass(frozen=True)
+class SwarmPoint:
+    """One Fig. 7 sweep point."""
+
+    swarm_size: int
+    interconnect_energy_pj: float
+    global_spikes: float
+    wall_time_s: float
+
+
+def explore_architecture(
+    graph: SpikeGraph,
+    base: Architecture,
+    crossbar_sizes: Sequence[int],
+    method: str = "pso",
+    seed: SeedLike = None,
+    pso_config: Optional[PSOConfig] = None,
+    noc_config: Optional[NocConfig] = None,
+) -> List[ArchitecturePoint]:
+    """Fig. 6: vary crossbar size, keep the application fixed.
+
+    For each size the platform is re-derived so the whole network fits
+    (fewer, larger crossbars or more, smaller ones), then the full
+    pipeline runs: mapping, NoC simulation, energy accounting.
+    """
+    points: List[ArchitecturePoint] = []
+    for i, size in enumerate(crossbar_sizes):
+        arch = base.scaled_to(graph.n_neurons, size)
+        result = run_pipeline(
+            graph,
+            arch,
+            method=method,
+            seed=derive_seed(seed, i),
+            pso_config=pso_config,
+            noc_config=noc_config,
+        )
+        report = result.report
+        points.append(
+            ArchitecturePoint(
+                neurons_per_crossbar=size,
+                n_crossbars=arch.n_crossbars,
+                local_energy_uj=report.local_energy_pj * 1e-6,
+                global_energy_uj=report.global_energy_pj * 1e-6,
+                total_energy_uj=report.total_energy_pj * 1e-6,
+                max_latency_cycles=report.max_latency_cycles,
+                global_spikes=report.global_spikes,
+            )
+        )
+    return points
+
+
+def estimate_interconnect_energy_pj(
+    graph: SpikeGraph,
+    assignment: np.ndarray,
+    architecture: Architecture,
+) -> float:
+    """Analytic interconnect energy from per-flow AER packet counts.
+
+    Avoids a full NoC simulation for sweeps with many points.  Each
+    (neuron, remote crossbar) flow carries the neuron's spike count; a
+    flow's packets pay hop energy over the routed distance, the encoder
+    runs once per spike event that leaves a crossbar, and the decoder
+    once per delivered packet.  This is the unicast-equivalent accounting
+    (multicast trunk sharing makes the simulated energy at most a few
+    percent lower); congestion does not change energy, only latency, so
+    the ordering of mapping candidates always matches the simulator's.
+    """
+    from repro.core.traffic_matrix import TrafficMatrix
+    from repro.noc.traffic import global_destinations
+
+    topology = architecture.build_topology()
+    routing = routing_for(topology)
+    energy = architecture.energy
+    assignment = np.asarray(assignment, dtype=np.int64)
+    neuron_spikes = TrafficMatrix(graph).neuron_spikes
+    dests = global_destinations(graph, assignment)
+
+    hop_pj = energy.global_energy_per_spike_hop_pj()
+    total = 0.0
+    for neuron, clusters in dests.items():
+        spikes = float(neuron_spikes[neuron])
+        if spikes == 0.0:
+            continue
+        own_node = topology.node_of_crossbar(int(assignment[neuron]))
+        total += spikes * energy.e_encode_pj  # one encode per spike event
+        for c in clusters:
+            dist = routing.distance(own_node, topology.node_of_crossbar(c))
+            total += spikes * (dist * hop_pj + energy.e_decode_pj)
+    return total
+
+
+def estimate_synapse_energy_pj(
+    graph: SpikeGraph,
+    assignment: np.ndarray,
+    architecture: Architecture,
+) -> float:
+    """Paper-literal interconnect energy: per-synapse spike accounting.
+
+    Eq. 7-8 of the paper charge every crossing *synapse* spike
+    independently (no multicast sharing): hop energy over the routed
+    distance between the two crossbars plus encoder/decoder work per
+    spike.  This is the cost model under which the paper's Fig. 5 numbers
+    were produced; :func:`estimate_interconnect_energy_pj` is the
+    multicast-aware packet variant.
+    """
+    from repro.core.traffic_matrix import cluster_traffic
+
+    topology = architecture.build_topology()
+    routing = routing_for(topology)
+    matrix = cluster_traffic(graph, assignment, architecture.n_crossbars)
+    energy = architecture.energy
+    total = 0.0
+    crossing = 0.0
+    for k1 in range(architecture.n_crossbars):
+        for k2 in range(architecture.n_crossbars):
+            spikes = matrix[k1, k2]
+            if k1 == k2 or spikes == 0.0:
+                continue
+            dist = routing.distance(
+                topology.node_of_crossbar(k1), topology.node_of_crossbar(k2)
+            )
+            total += spikes * dist * energy.global_energy_per_spike_hop_pj()
+            crossing += spikes
+    total += crossing * (energy.e_encode_pj + energy.e_decode_pj)
+    return total
+
+
+def explore_swarm_size(
+    graph: SpikeGraph,
+    architecture: Architecture,
+    swarm_sizes: Sequence[int],
+    n_iterations: int = 100,
+    seed: SeedLike = None,
+    base_config: Optional[PSOConfig] = None,
+) -> List[SwarmPoint]:
+    """Fig. 7: PSO quality as a function of swarm size at fixed iterations.
+
+    Energy per point is the paper-literal per-synapse hop-weighted
+    estimate of the best assignment found (the paper plots interconnect
+    energy normalized to the per-application minimum; normalization
+    happens at the caller) and the swarm optimizes the literal Eq. 8
+    spike objective — matching the cost model under which the paper's
+    Fig. 7 was produced.  Warm-starting and the cluster-placement
+    post-pass are both disabled so each point reflects pure swarm search
+    (placement would repair much of a weak swarm's damage and flatten
+    the sweep).
+    """
+    base = base_config if base_config is not None else PSOConfig()
+    points: List[SwarmPoint] = []
+    for i, swarm in enumerate(swarm_sizes):
+        config = replace(base, n_particles=swarm, n_iterations=n_iterations)
+        result = map_snn(
+            graph,
+            architecture,
+            method="pso",
+            seed=derive_seed(seed, i),
+            pso_config=config,
+            warm_start=False,
+            placement=False,
+            objective="spikes",
+        )
+        energy = estimate_synapse_energy_pj(
+            graph, result.assignment, architecture
+        )
+        points.append(
+            SwarmPoint(
+                swarm_size=swarm,
+                interconnect_energy_pj=energy,
+                global_spikes=result.global_spikes,
+                wall_time_s=result.wall_time_s,
+            )
+        )
+    return points
+
+
+def normalized_energies(points: Sequence[SwarmPoint]) -> List[float]:
+    """Fig. 7's y-axis: energy normalized to the sweep's minimum."""
+    energies = [p.interconnect_energy_pj for p in points]
+    floor = min(e for e in energies if e > 0) if any(e > 0 for e in energies) else 1.0
+    return [e / floor if floor else 1.0 for e in energies]

@@ -1,0 +1,91 @@
+"""The Fig. 4 flow: spike graph → partitioner → NoC → metrics.
+
+The SNN-simulation stage happens upstream (applications produce
+:class:`~repro.snn.graph.SpikeGraph` objects); the pipeline takes the
+graph through mapping, interconnect simulation and metric aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.mapper import MappingResult, map_snn
+from repro.core.pso import PSOConfig
+from repro.hardware.architecture import Architecture
+from repro.metrics.report import MetricReport, build_report
+from repro.noc.interconnect import Interconnect, NocConfig
+from repro.noc.stats import NocStats
+from repro.noc.traffic import InjectionSchedule, build_injections
+from repro.snn.graph import SpikeGraph
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class PipelineResult:
+    """Everything one end-to-end run produced."""
+
+    graph: SpikeGraph
+    architecture: Architecture
+    mapping: MappingResult
+    schedule: InjectionSchedule
+    noc_stats: NocStats
+    report: MetricReport
+
+    def describe(self) -> str:
+        return "\n".join(
+            [
+                self.graph.describe(),
+                self.architecture.describe(),
+                self.mapping.describe(),
+                self.noc_stats.describe(),
+                self.report.table(),
+            ]
+        )
+
+
+def run_pipeline(
+    graph: SpikeGraph,
+    architecture: Architecture,
+    method: str = "pso",
+    seed: SeedLike = None,
+    pso_config: Optional[PSOConfig] = None,
+    noc_config: Optional[NocConfig] = None,
+    simulate_noc: bool = True,
+) -> PipelineResult:
+    """Map ``graph`` onto ``architecture`` and measure the result.
+
+    Parameters
+    ----------
+    method:
+        Partitioner: "pso", "pacman", "neutrams", "random", "greedy" or
+        "annealing".
+    simulate_noc:
+        When false, skip the cycle-accurate interconnect simulation and
+        return empty NoC statistics (useful for mapping-only sweeps where
+        the fitness value is the quantity of interest).
+    """
+    mapping = map_snn(
+        graph, architecture, method=method, seed=seed, pso_config=pso_config
+    )
+    topology = architecture.build_topology()
+    schedule = build_injections(
+        graph,
+        mapping.assignment,
+        topology,
+        cycles_per_ms=architecture.cycles_per_ms,
+    )
+    if simulate_noc:
+        interconnect = Interconnect(topology, config=noc_config)
+        stats = interconnect.simulate(schedule.injections)
+    else:
+        stats = NocStats()
+    report = build_report(graph.name, mapping, stats, architecture)
+    return PipelineResult(
+        graph=graph,
+        architecture=architecture,
+        mapping=mapping,
+        schedule=schedule,
+        noc_stats=stats,
+        report=report,
+    )

@@ -1,0 +1,204 @@
+"""Programmatic reproduction of the paper's tables and figures.
+
+Each ``reproduce_*`` function regenerates one artifact and returns the
+rows it printed, using the same workloads, seeds and cost models as the
+benchmark harness (`benchmarks/`); the CLI exposes them as
+``python -m repro reproduce {fig5,table2,fig6,fig7}``.  Budgets are
+scaled by ``effort`` so a laptop can get the shape in seconds
+(``effort=0.5``) or grind closer to the paper's swarm settings
+(``effort=2.0``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.apps import build_application
+from repro.core import PSOConfig, map_snn
+from repro.framework.exploration import (
+    estimate_synapse_energy_pj,
+    explore_architecture,
+    explore_swarm_size,
+    normalized_energies,
+)
+from repro.framework.pipeline import run_pipeline
+from repro.hardware.presets import architecture_for, custom
+from repro.utils.tables import format_table
+
+BENCH_SEED = 2018
+
+
+def _scaled_pso(effort: float) -> PSOConfig:
+    return PSOConfig(
+        n_particles=max(8, int(80 * effort)),
+        n_iterations=max(5, int(40 * effort)),
+    )
+
+
+def _arch_for(graph, cycles_per_ms: float = 10.0):
+    per_xbar = max(16, -(-graph.n_neurons // 6))
+    return architecture_for(graph.n_neurons, neurons_per_crossbar=per_xbar,
+                            interconnect="tree",
+                            cycles_per_ms=cycles_per_ms, name=graph.name)
+
+
+def _fig5_workloads(effort: float) -> Dict[str, object]:
+    synth = [(1, 200), (1, 600), (3, 200), (4, 200)]
+    workloads = {
+        f"synth_{m}x{n}": build_application(
+            f"synth_{m}x{n}", seed=BENCH_SEED, duration_ms=400.0
+        )
+        for m, n in synth
+    }
+    workloads["HW"] = build_application("hello_world", seed=BENCH_SEED,
+                                        duration_ms=500.0)
+    workloads["IS"] = build_application("image_smoothing", seed=BENCH_SEED,
+                                        duration_ms=150.0)
+    workloads["HD"] = build_application(
+        "digit_recognition", seed=BENCH_SEED, duration_ms=150.0,
+        n_training_samples=2, train_ms_per_sample=80.0,
+    )
+    workloads["HE"] = build_application("heartbeat", seed=BENCH_SEED,
+                                        duration_ms=3000.0)
+    return workloads
+
+
+def reproduce_fig5(effort: float = 1.0) -> List[Sequence[object]]:
+    """Fig. 5: normalized interconnect energy for three partitioners."""
+    pso_cfg = _scaled_pso(effort)
+    rows: List[Sequence[object]] = []
+    for name, graph in _fig5_workloads(effort).items():
+        arch = _arch_for(graph)
+        energies = {}
+        for method in ("neutrams", "pacman", "pso"):
+            result = map_snn(graph, arch, method=method, seed=7,
+                             pso_config=pso_cfg, objective="spikes")
+            energies[method] = estimate_synapse_energy_pj(
+                graph, result.assignment, arch
+            )
+        ref = energies["neutrams"] or 1.0
+        rows.append((name, f"{energies['neutrams'] / ref:.3f}",
+                     f"{energies['pacman'] / ref:.3f}",
+                     f"{energies['pso'] / ref:.3f}"))
+    print("Fig. 5 — normalized energy on the global synapse interconnect")
+    print(format_table(["workload", "NEUTRAMS", "PACMAN", "Proposed PSO"],
+                       rows))
+    return rows
+
+
+def reproduce_table2(effort: float = 1.0) -> List[Sequence[object]]:
+    """Table II: ISI / disorder / throughput / latency, PACMAN vs PSO."""
+    pso_cfg = _scaled_pso(effort)
+    apps = {
+        "hello_world": build_application("hello_world", seed=BENCH_SEED,
+                                         duration_ms=500.0),
+        "image_smoothing": build_application(
+            "image_smoothing", seed=BENCH_SEED, duration_ms=150.0
+        ),
+        "digit_recog.": build_application(
+            "digit_recognition", seed=BENCH_SEED, duration_ms=150.0,
+            n_training_samples=2, train_ms_per_sample=80.0,
+        ),
+        "heartbeat_est.": build_application("heartbeat", seed=BENCH_SEED,
+                                            duration_ms=3000.0),
+    }
+    rows: List[Sequence[object]] = []
+    for name, graph in apps.items():
+        arch = _arch_for(graph)
+        reports = {
+            method: run_pipeline(graph, arch, method=method, seed=7,
+                                 pso_config=pso_cfg).report
+            for method in ("pacman", "pso")
+        }
+        rows.extend([
+            (name, "ISI Distortion (cycles)",
+             f"{reports['pacman'].isi_distortion_cycles:.2f}",
+             f"{reports['pso'].isi_distortion_cycles:.2f}"),
+            (name, "Disorder count (%)",
+             f"{reports['pacman'].disorder_percent:.3f}",
+             f"{reports['pso'].disorder_percent:.3f}"),
+            (name, "Throughput (AER/ms)",
+             f"{reports['pacman'].throughput_aer_per_ms:.2f}",
+             f"{reports['pso'].throughput_aer_per_ms:.2f}"),
+            (name, "Latency (cycles)",
+             f"{reports['pacman'].max_latency_cycles:.0f}",
+             f"{reports['pso'].max_latency_cycles:.0f}"),
+        ])
+    print("Table II — metric evaluation for realistic applications")
+    print(format_table(["application", "metric", "PACMAN", "Proposed"],
+                       rows))
+    return rows
+
+
+def reproduce_fig6(effort: float = 1.0) -> List[Sequence[object]]:
+    """Fig. 6: crossbar-size exploration on digit recognition."""
+    graph = build_application(
+        "digit_recognition", seed=BENCH_SEED, duration_ms=150.0,
+        n_training_samples=2, train_ms_per_sample=80.0,
+    )
+    base = custom(4, 256, interconnect="tree", name="fig6")
+    cfg = PSOConfig(n_particles=max(8, int(50 * effort)),
+                    n_iterations=max(5, int(30 * effort)))
+    points = explore_architecture(
+        graph, base, crossbar_sizes=[90, 180, 360, 720, 1080, 1440],
+        method="pso", seed=7, pso_config=cfg,
+    )
+    rows = [
+        (p.neurons_per_crossbar, p.n_crossbars, f"{p.local_energy_uj:.3f}",
+         f"{p.global_energy_uj:.3f}", f"{p.total_energy_uj:.3f}",
+         p.max_latency_cycles)
+        for p in points
+    ]
+    print("Fig. 6 — architecture exploration (digit recognition)")
+    print(format_table(
+        ["neurons/xbar", "crossbars", "local uJ", "global uJ", "total uJ",
+         "latency (cy)"],
+        rows,
+    ))
+    return rows
+
+
+def reproduce_fig7(effort: float = 1.0) -> List[Sequence[object]]:
+    """Fig. 7: normalized energy vs swarm size for four applications."""
+    workloads = {
+        "hello_world": build_application("hello_world", seed=BENCH_SEED,
+                                         duration_ms=500.0),
+        "heartbeat": build_application("heartbeat", seed=BENCH_SEED,
+                                       duration_ms=3000.0),
+        "synth_1x800": build_application("synth_1x800", seed=BENCH_SEED,
+                                         duration_ms=300.0),
+        "synth_2x200": build_application("synth_2x200", seed=BENCH_SEED,
+                                         duration_ms=300.0),
+    }
+    swarm_sizes = [10, 50, 200, 1000]
+    n_iterations = max(5, int(30 * effort))
+    rows: List[Sequence[object]] = []
+    for name, graph in workloads.items():
+        arch = _arch_for(graph)
+        points = explore_swarm_size(graph, arch, swarm_sizes=swarm_sizes,
+                                    n_iterations=n_iterations, seed=7)
+        for p, e in zip(points, normalized_energies(points)):
+            rows.append((name, p.swarm_size, f"{e:.3f}"))
+    print(f"Fig. 7 — normalized energy vs swarm size ({n_iterations} iters)")
+    print(format_table(["application", "swarm size", "normalized energy"],
+                       rows))
+    return rows
+
+
+ARTIFACTS = {
+    "fig5": reproduce_fig5,
+    "table2": reproduce_table2,
+    "fig6": reproduce_fig6,
+    "fig7": reproduce_fig7,
+}
+
+
+def reproduce(artifact: str, effort: float = 1.0) -> List[Sequence[object]]:
+    """Regenerate one paper artifact by name."""
+    if artifact not in ARTIFACTS:
+        raise KeyError(
+            f"unknown artifact {artifact!r}; options: {sorted(ARTIFACTS)}"
+        )
+    if effort <= 0:
+        raise ValueError(f"effort must be positive, got {effort}")
+    return ARTIFACTS[artifact](effort=effort)

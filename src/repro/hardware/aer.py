@@ -1,0 +1,79 @@
+"""Address Event Representation encoder/decoder (paper Fig. 2).
+
+AER serializes the spikes of a neuron group onto a shared channel: each
+spike becomes an (address, time) event.  The encoder merges per-neuron
+spike trains into one time-ordered event stream; the decoder reconstructs
+per-neuron trains.  A finite ``events_per_slot`` models the channel's
+time-multiplexing: when more neurons spike in one timestamp than the
+channel can carry, the excess events slip to later slots — exactly the
+serialization that causes ISI distortion and spike disorder downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class AEREvent:
+    """One address-event: which neuron spiked, and when it left the encoder."""
+
+    address: int
+    time: float
+
+
+def encode_spike_trains(
+    spike_times: Sequence[np.ndarray],
+    events_per_slot: int = 0,
+    slot_ms: float = 1.0,
+) -> List[AEREvent]:
+    """Merge per-neuron spike trains into a time-ordered AER stream.
+
+    With ``events_per_slot == 0`` the channel is ideal (no serialization
+    delay).  Otherwise at most ``events_per_slot`` events leave the encoder
+    per ``slot_ms`` window; surplus events queue and depart in later slots,
+    FIFO by (spike time, address).
+    """
+    events = [
+        (float(t), int(addr))
+        for addr, train in enumerate(spike_times)
+        for t in np.asarray(train, dtype=np.float64)
+    ]
+    events.sort()
+    if events_per_slot <= 0:
+        return [AEREvent(address=a, time=t) for t, a in events]
+
+    check_positive("slot_ms", slot_ms)
+    out: List[AEREvent] = []
+    next_free_slot = 0
+    used_in_slot = 0
+    for t, addr in events:
+        slot = int(t // slot_ms)
+        if slot > next_free_slot:
+            next_free_slot = slot
+            used_in_slot = 0
+        if used_in_slot >= events_per_slot:
+            next_free_slot += 1
+            used_in_slot = 0
+        depart = max(t, next_free_slot * slot_ms)
+        out.append(AEREvent(address=addr, time=depart))
+        used_in_slot += 1
+    return out
+
+
+def decode_events(events: Sequence[AEREvent], n_neurons: int) -> List[np.ndarray]:
+    """Reconstruct per-neuron spike trains from an AER stream."""
+    check_positive("n_neurons", n_neurons)
+    trains: List[List[float]] = [[] for _ in range(n_neurons)]
+    for ev in events:
+        if not 0 <= ev.address < n_neurons:
+            raise ValueError(
+                f"AER event address {ev.address} outside [0, {n_neurons})"
+            )
+        trains[ev.address].append(ev.time)
+    return [np.asarray(sorted(t), dtype=np.float64) for t in trains]

@@ -1,0 +1,102 @@
+"""Architecture description: crossbars + interconnect family.
+
+The designer-provided specification of the paper's Section III: ``C``
+crossbars of ``Nc`` neurons each, joined by a NoC of a given family
+(tree for CxQuad, mesh for TrueNorth-like chips).  Section V-C explores
+this very specification — :mod:`repro.framework.exploration` sweeps
+``neurons_per_crossbar`` holding total neuron capacity fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List
+
+from repro.hardware.crossbar import Crossbar
+from repro.hardware.energy_model import EnergyModel
+from repro.noc.topology import Topology, build_topology
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """A clustered neuromorphic platform.
+
+    Attributes
+    ----------
+    n_crossbars:
+        Number of crossbar tiles (``C``).
+    neurons_per_crossbar:
+        Neuron capacity of each tile (``Nc``).
+    interconnect:
+        Topology family for the global synapse interconnect:
+        "tree", "mesh", "star" or "torus".
+    cycles_per_ms:
+        Interconnect clock cycles per millisecond of biological time; sets
+        how bursty simultaneous spikes appear to the NoC.
+    energy:
+        Per-event energy coefficients.
+    name:
+        Label for reports.
+    """
+
+    n_crossbars: int
+    neurons_per_crossbar: int
+    interconnect: str = "tree"
+    cycles_per_ms: float = 10.0
+    energy: EnergyModel = field(default_factory=EnergyModel)
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        check_positive("n_crossbars", self.n_crossbars)
+        check_positive("neurons_per_crossbar", self.neurons_per_crossbar)
+        check_positive("cycles_per_ms", self.cycles_per_ms)
+
+    @property
+    def total_capacity(self) -> int:
+        """Maximum number of neurons the platform can host."""
+        return self.n_crossbars * self.neurons_per_crossbar
+
+    def build_topology(self) -> Topology:
+        """Instantiate the interconnect topology with one attach point per tile."""
+        return build_topology(self.interconnect, self.n_crossbars)
+
+    def build_crossbars(self) -> List[Crossbar]:
+        return [
+            Crossbar(index=k, capacity=self.neurons_per_crossbar)
+            for k in range(self.n_crossbars)
+        ]
+
+    def fits(self, n_neurons: int) -> bool:
+        """Whether a network of ``n_neurons`` can be placed at all."""
+        return n_neurons <= self.total_capacity
+
+    def require_fits(self, n_neurons: int) -> None:
+        if not self.fits(n_neurons):
+            raise ValueError(
+                f"network of {n_neurons} neurons exceeds {self.name!r} capacity "
+                f"{self.total_capacity} ({self.n_crossbars} x "
+                f"{self.neurons_per_crossbar})"
+            )
+
+    def scaled_to(self, n_neurons: int, neurons_per_crossbar: int) -> "Architecture":
+        """Derive an architecture with tiles of a new size covering ``n_neurons``.
+
+        Used by the Fig. 6 exploration: crossbar size varies, and the tile
+        count grows/shrinks to keep the network placeable.
+        """
+        check_positive("neurons_per_crossbar", neurons_per_crossbar)
+        n_crossbars = max(1, -(-n_neurons // neurons_per_crossbar))
+        return replace(
+            self,
+            n_crossbars=n_crossbars,
+            neurons_per_crossbar=neurons_per_crossbar,
+            name=f"{self.name}@{neurons_per_crossbar}/xbar",
+        )
+
+    def describe(self) -> str:
+        return (
+            f"Architecture {self.name!r}: {self.n_crossbars} crossbars x "
+            f"{self.neurons_per_crossbar} neurons, {self.interconnect} "
+            f"interconnect, {self.cycles_per_ms} cycles/ms"
+        )

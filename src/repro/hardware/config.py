@@ -1,0 +1,145 @@
+"""Plain-text configuration files for platforms and energy models.
+
+Noxim loads its power numbers from "an external loaded YAML file" so users
+can re-target the simulator without recompiling; this module provides the
+same workflow without a YAML dependency: a small, strict parser for the
+flat ``key: value`` subset of YAML that hardware configs actually use
+(scalars, comments, one level of section nesting).
+
+Example config::
+
+    # my_chip.yaml
+    name: my_chip
+    n_crossbars: 4
+    neurons_per_crossbar: 256
+    interconnect: tree
+    cycles_per_ms: 10.0
+    energy:
+      e_local_event_pj: 1.6
+      reference_crossbar_size: 128
+      e_router_pj: 9.0
+      e_link_pj: 4.5
+      e_encode_pj: 3.0
+      e_decode_pj: 3.0
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.hardware.architecture import Architecture
+from repro.hardware.energy_model import EnergyModel
+
+ConfigValue = Union[str, int, float, Dict[str, Union[str, int, float]]]
+
+
+def _parse_scalar(raw: str) -> Union[str, int, float]:
+    raw = raw.strip()
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def parse_config_text(text: str) -> Dict[str, ConfigValue]:
+    """Parse the flat YAML subset: ``key: value`` plus one nesting level.
+
+    Raises ``ValueError`` with the offending line number on anything the
+    subset does not cover (lists, multi-level nesting, tabs).
+    """
+    result: Dict[str, ConfigValue] = {}
+    section: Dict[str, Union[str, int, float]] = {}
+    section_name = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.split("#", 1)[0].rstrip()
+        if not stripped.strip():
+            continue
+        if "\t" in line:
+            raise ValueError(f"line {lineno}: tabs are not allowed")
+        indent = len(stripped) - len(stripped.lstrip())
+        if ":" not in stripped:
+            raise ValueError(f"line {lineno}: expected 'key: value'")
+        key, _, raw_value = stripped.strip().partition(":")
+        key = key.strip()
+        raw_value = raw_value.strip()
+        if indent == 0:
+            section_name = None
+            if raw_value:
+                result[key] = _parse_scalar(raw_value)
+            else:
+                section = {}
+                section_name = key
+                result[key] = section
+        else:
+            if section_name is None:
+                raise ValueError(
+                    f"line {lineno}: indented key outside any section"
+                )
+            if not raw_value:
+                raise ValueError(
+                    f"line {lineno}: nested sections deeper than one level "
+                    "are not supported"
+                )
+            section[key] = _parse_scalar(raw_value)
+    return result
+
+
+def render_config_text(config: Dict[str, ConfigValue]) -> str:
+    """Inverse of :func:`parse_config_text`."""
+    lines = []
+    for key, value in config.items():
+        if isinstance(value, dict):
+            lines.append(f"{key}:")
+            for sub_key, sub_value in value.items():
+                lines.append(f"  {sub_key}: {sub_value}")
+        else:
+            lines.append(f"{key}: {value}")
+    return "\n".join(lines) + "\n"
+
+
+def architecture_to_config(arch: Architecture) -> Dict[str, ConfigValue]:
+    """Serialize a platform description to a config dict."""
+    return {
+        "name": arch.name,
+        "n_crossbars": arch.n_crossbars,
+        "neurons_per_crossbar": arch.neurons_per_crossbar,
+        "interconnect": arch.interconnect,
+        "cycles_per_ms": arch.cycles_per_ms,
+        "energy": arch.energy.to_dict(),
+    }
+
+
+def architecture_from_config(config: Dict[str, ConfigValue]) -> Architecture:
+    """Build a platform from a parsed config dict."""
+    required = {"n_crossbars", "neurons_per_crossbar"}
+    missing = required - set(config)
+    if missing:
+        raise ValueError(f"config is missing required keys: {sorted(missing)}")
+    energy_cfg = config.get("energy", {})
+    if not isinstance(energy_cfg, dict):
+        raise ValueError("'energy' must be a section of key: value pairs")
+    return Architecture(
+        n_crossbars=int(config["n_crossbars"]),
+        neurons_per_crossbar=int(config["neurons_per_crossbar"]),
+        interconnect=str(config.get("interconnect", "tree")),
+        cycles_per_ms=float(config.get("cycles_per_ms", 10.0)),
+        energy=EnergyModel.from_dict(energy_cfg) if energy_cfg else EnergyModel(),
+        name=str(config.get("name", "custom")),
+    )
+
+
+def save_architecture(arch: Architecture, path: Union[str, Path]) -> None:
+    """Write a platform description to a config file."""
+    Path(path).write_text(
+        render_config_text(architecture_to_config(arch)), encoding="utf-8"
+    )
+
+
+def load_architecture(path: Union[str, Path]) -> Architecture:
+    """Read a platform description from a config file."""
+    return architecture_from_config(
+        parse_config_text(Path(path).read_text(encoding="utf-8"))
+    )

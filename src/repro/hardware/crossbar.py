@@ -1,0 +1,88 @@
+"""A single crossbar tile.
+
+A crossbar is a full Nc x Nc array of memristive synapses: any neuron
+assigned to the tile can connect to any other neuron on the same tile at
+zero interconnect cost.  The class tracks which neurons are placed on the
+tile and accounts for local synapses and local spike events, which feed
+the local-synapse energy term of the architecture exploration (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+import numpy as np
+
+from repro.snn.graph import SpikeGraph
+from repro.utils.validation import check_positive
+
+
+class Crossbar:
+    """Capacity-checked neuron container for one tile."""
+
+    def __init__(self, index: int, capacity: int) -> None:
+        check_positive("capacity", capacity)
+        self.index = index
+        self.capacity = int(capacity)
+        self._neurons: Set[int] = set()
+
+    @property
+    def neurons(self) -> List[int]:
+        return sorted(self._neurons)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._neurons)
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - self.occupancy
+
+    def place(self, neuron: int) -> None:
+        """Assign one neuron; raises when the tile is full or duplicated."""
+        if neuron in self._neurons:
+            raise ValueError(f"neuron {neuron} already placed on crossbar {self.index}")
+        if self.free_slots <= 0:
+            raise OverflowError(
+                f"crossbar {self.index} is full ({self.capacity} neurons)"
+            )
+        self._neurons.add(neuron)
+
+    def place_all(self, neurons: Iterable[int]) -> None:
+        for n in neurons:
+            self.place(n)
+
+    def contains(self, neuron: int) -> bool:
+        return neuron in self._neurons
+
+    def local_synapses(self, graph: SpikeGraph) -> int:
+        """Synapses of ``graph`` whose both endpoints sit on this tile."""
+        members = self._neurons
+        return int(
+            sum(
+                1
+                for s, d in zip(graph.src, graph.dst)
+                if int(s) in members and int(d) in members
+            )
+        )
+
+    def local_spike_events(self, graph: SpikeGraph) -> float:
+        """Spike events carried by this tile's local synapses.
+
+        Each pre-synaptic spike on a local synapse is one crossbar
+        activation — the energy-proportional event for local synapses.
+        """
+        members = self._neurons
+        mask = np.fromiter(
+            (int(s) in members and int(d) in members
+             for s, d in zip(graph.src, graph.dst)),
+            dtype=bool,
+            count=graph.n_synapses,
+        )
+        return float(graph.traffic[mask].sum())
+
+    def __repr__(self) -> str:
+        return (
+            f"Crossbar(index={self.index}, capacity={self.capacity}, "
+            f"occupancy={self.occupancy})"
+        )

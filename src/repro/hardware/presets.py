@@ -1,0 +1,81 @@
+"""Platform presets.
+
+- :func:`cxquad` — the paper's reference chip: four crossbars on a
+  NoC-tree.  The paper describes CxQuad both as "1024 neurons clustered
+  into four crossbars of 256 neurons each" and as crossbars of "128 pre-
+  and 128 post-synaptic neurons implementing a full 16K local synapses";
+  we take 256 neurons of *capacity* per tile (the mapping constraint) and
+  keep 128 as the energy model's reference wordline width.
+- :func:`truenorth_like` — many small tiles on a NoC-mesh.
+- :func:`custom` — free-form.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.architecture import Architecture
+from repro.hardware.energy_model import EnergyModel
+
+
+def cxquad(cycles_per_ms: float = 10.0) -> Architecture:
+    """The paper's reference platform: 4 crossbars x 256 neurons, NoC-tree."""
+    return Architecture(
+        n_crossbars=4,
+        neurons_per_crossbar=256,
+        interconnect="tree",
+        cycles_per_ms=cycles_per_ms,
+        energy=EnergyModel(reference_crossbar_size=128),
+        name="cxquad",
+    )
+
+
+def truenorth_like(
+    n_crossbars: int = 16,
+    neurons_per_crossbar: int = 256,
+    cycles_per_ms: float = 10.0,
+) -> Architecture:
+    """A TrueNorth-style platform: small tiles on a NoC-mesh."""
+    return Architecture(
+        n_crossbars=n_crossbars,
+        neurons_per_crossbar=neurons_per_crossbar,
+        interconnect="mesh",
+        cycles_per_ms=cycles_per_ms,
+        energy=EnergyModel(reference_crossbar_size=256),
+        name="truenorth_like",
+    )
+
+
+def custom(
+    n_crossbars: int,
+    neurons_per_crossbar: int,
+    interconnect: str = "tree",
+    cycles_per_ms: float = 10.0,
+    energy: EnergyModel = None,
+    name: str = "custom",
+) -> Architecture:
+    """Free-form platform builder with CxQuad-calibrated default energies."""
+    return Architecture(
+        n_crossbars=n_crossbars,
+        neurons_per_crossbar=neurons_per_crossbar,
+        interconnect=interconnect,
+        cycles_per_ms=cycles_per_ms,
+        energy=energy if energy is not None else EnergyModel(),
+        name=name,
+    )
+
+
+def architecture_for(
+    n_neurons: int,
+    neurons_per_crossbar: int = 256,
+    interconnect: str = "tree",
+    cycles_per_ms: float = 10.0,
+    name: str = "auto",
+) -> Architecture:
+    """Smallest platform of fixed tile size that fits ``n_neurons``."""
+    n_crossbars = max(1, -(-n_neurons // neurons_per_crossbar))
+    return Architecture(
+        n_crossbars=n_crossbars,
+        neurons_per_crossbar=neurons_per_crossbar,
+        interconnect=interconnect,
+        cycles_per_ms=cycles_per_ms,
+        name=name,
+    )

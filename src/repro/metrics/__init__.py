@@ -1,0 +1,41 @@
+"""SNN-on-hardware performance metrics (paper Section II).
+
+Beyond the conventional interconnect metrics (latency, energy,
+throughput), the paper introduces two SNN-specific measures of information
+degradation caused by time-multiplexing global synapses:
+
+- **spike disorder count** (:mod:`repro.metrics.disorder`) — fraction of
+  spikes that arrive at a destination after a spike that was injected
+  later (arbitration overtaking);
+- **inter-spike-interval distortion** (:mod:`repro.metrics.isi`) — how much
+  congestion-induced jitter changes the ISIs a receiving neuron observes
+  relative to what the sender emitted.
+
+Both are computed from the NoC simulator's delivery records.
+"""
+
+from repro.metrics.congestion import (
+    CongestionReport,
+    bottleneck_links,
+    congestion_report,
+)
+from repro.metrics.disorder import disorder_count, disorder_fraction
+from repro.metrics.isi import (
+    isi_distortion_mean,
+    isi_distortion_per_flow,
+    isi_distortion_worst,
+)
+from repro.metrics.report import MetricReport, build_report
+
+__all__ = [
+    "disorder_count",
+    "disorder_fraction",
+    "isi_distortion_per_flow",
+    "isi_distortion_mean",
+    "isi_distortion_worst",
+    "MetricReport",
+    "build_report",
+    "CongestionReport",
+    "congestion_report",
+    "bottleneck_links",
+]

@@ -1,0 +1,53 @@
+"""Spike disorder count (paper Section II).
+
+A spike is *disordered* at its destination when some spike injected
+strictly later overtakes it — the receiver observes information in the
+wrong order, which the paper identifies as a source of information loss
+(its A/B/C example: crossbar B wins arbitration over crossbar A, so B's
+later spike lands at C first).
+
+We scan each destination's deliveries in arrival order and flag every
+spike whose injection time is strictly earlier than the latest injection
+time already delivered: such a spike was overtaken by at least one
+later-injected spike.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.noc.stats import NocStats
+
+
+def disorder_count(stats: NocStats) -> int:
+    """Number of delivered spikes that were overtaken by later injections."""
+    disordered = 0
+    for recs in stats.records_by_destination().values():
+        latest_injection_seen = -1
+        for rec in recs:
+            if rec.injected_cycle < latest_injection_seen:
+                disordered += 1
+            latest_injection_seen = max(latest_injection_seen, rec.injected_cycle)
+    return disordered
+
+
+def disorder_fraction(stats: NocStats) -> float:
+    """Paper Table II row: disordered spikes / total delivered spikes."""
+    total = stats.delivered_count
+    if total == 0:
+        return 0.0
+    return disorder_count(stats) / total
+
+
+def disorder_by_destination(stats: NocStats) -> Dict[int, float]:
+    """Per-destination disorder fraction, for congestion diagnosis."""
+    out: Dict[int, float] = {}
+    for dst, recs in stats.records_by_destination().items():
+        latest = -1
+        bad = 0
+        for rec in recs:
+            if rec.injected_cycle < latest:
+                bad += 1
+            latest = max(latest, rec.injected_cycle)
+        out[dst] = bad / len(recs) if recs else 0.0
+    return out

@@ -1,0 +1,121 @@
+"""Aggregated metric report — one row of the paper's Table II.
+
+:func:`build_report` combines a mapping result, the NoC statistics of its
+global traffic, and the architecture's energy model into the full metric
+set the paper evaluates: ISI distortion, disorder count, throughput,
+latency, and local/global/total energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.mapper import MappingResult
+from repro.hardware.architecture import Architecture
+from repro.metrics.disorder import disorder_fraction
+from repro.metrics.isi import isi_distortion_mean, isi_distortion_worst
+from repro.noc.stats import NocStats
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class MetricReport:
+    """All paper metrics for one (application, architecture, method) run."""
+
+    app: str
+    method: str
+    # SNN-specific metrics (paper's introduced metrics)
+    isi_distortion_cycles: float
+    isi_distortion_worst_cycles: float
+    disorder_fraction: float
+    # Conventional interconnect metrics
+    throughput_aer_per_ms: float
+    max_latency_cycles: int
+    mean_latency_cycles: float
+    # Energy
+    local_energy_pj: float
+    global_energy_pj: float
+    # Mapping profile
+    global_spikes: float
+    local_spikes: float
+    global_synapses: int
+    local_synapses: int
+    delivered_packets: int
+    undelivered_packets: int
+
+    @property
+    def total_energy_pj(self) -> float:
+        return self.local_energy_pj + self.global_energy_pj
+
+    @property
+    def disorder_percent(self) -> float:
+        return self.disorder_fraction * 100.0
+
+    def to_dict(self) -> Dict[str, float]:
+        d = {
+            "app": self.app,
+            "method": self.method,
+            "isi_distortion_cycles": self.isi_distortion_cycles,
+            "isi_distortion_worst_cycles": self.isi_distortion_worst_cycles,
+            "disorder_percent": self.disorder_percent,
+            "throughput_aer_per_ms": self.throughput_aer_per_ms,
+            "max_latency_cycles": self.max_latency_cycles,
+            "mean_latency_cycles": self.mean_latency_cycles,
+            "local_energy_pj": self.local_energy_pj,
+            "global_energy_pj": self.global_energy_pj,
+            "total_energy_pj": self.total_energy_pj,
+            "global_spikes": self.global_spikes,
+            "local_spikes": self.local_spikes,
+            "global_synapses": self.global_synapses,
+            "local_synapses": self.local_synapses,
+            "delivered_packets": self.delivered_packets,
+            "undelivered_packets": self.undelivered_packets,
+        }
+        return d
+
+    def table(self) -> str:
+        """Render as the paper's Table II row block."""
+        rows = [
+            ("ISI distortion (cycles)", f"{self.isi_distortion_cycles:.1f}"),
+            ("Disorder count (%)", f"{self.disorder_percent:.2f}"),
+            ("Throughput (AER/ms)", f"{self.throughput_aer_per_ms:.2f}"),
+            ("Latency (cycles)", str(self.max_latency_cycles)),
+            ("Global energy (uJ)", f"{self.global_energy_pj * 1e-6:.3f}"),
+            ("Local energy (uJ)", f"{self.local_energy_pj * 1e-6:.3f}"),
+        ]
+        return format_table(
+            [f"{self.app} / {self.method}", "value"], rows
+        )
+
+
+def build_report(
+    app: str,
+    mapping: MappingResult,
+    stats: NocStats,
+    architecture: Architecture,
+) -> MetricReport:
+    """Assemble a :class:`MetricReport` from one pipeline run's artifacts."""
+    energy = architecture.energy
+    return MetricReport(
+        app=app,
+        method=mapping.method,
+        isi_distortion_cycles=isi_distortion_mean(stats),
+        isi_distortion_worst_cycles=isi_distortion_worst(stats),
+        disorder_fraction=disorder_fraction(stats),
+        throughput_aer_per_ms=stats.throughput_aer_per_ms(
+            architecture.cycles_per_ms
+        ),
+        max_latency_cycles=stats.max_latency(),
+        mean_latency_cycles=stats.mean_latency(),
+        local_energy_pj=energy.local_energy_pj(
+            mapping.local_spikes, architecture.neurons_per_crossbar
+        ),
+        global_energy_pj=energy.global_energy_pj(stats),
+        global_spikes=mapping.global_spikes,
+        local_spikes=mapping.local_spikes,
+        global_synapses=mapping.global_synapses,
+        local_synapses=mapping.local_synapses,
+        delivered_packets=stats.delivered_count,
+        undelivered_packets=stats.undelivered_count,
+    )

@@ -1,0 +1,55 @@
+"""Cycle-accurate network-on-chip simulation substrate (Noxim++ substitute).
+
+The paper extends the Noxim NoC simulator with (1) interconnect models for
+neuromorphic hardware (NoC-tree for CxQuad, NoC-mesh for TrueNorth-like
+chips), (2) SNN-related metrics (spike disorder, ISI distortion), and
+(3) multicast spike delivery.  This package implements the same simulator
+surface:
+
+- :mod:`repro.noc.topology` — mesh / tree / star / torus builders with
+  crossbar attach points;
+- :mod:`repro.noc.routing` — deterministic XY and shortest-path next-hop
+  tables;
+- :mod:`repro.noc.interconnect` — the cycle-accurate, input-buffered,
+  round-robin-arbitrated simulation loop with multicast forking;
+- :mod:`repro.noc.traffic` — converts a mapped spike graph into AER packet
+  injection schedules;
+- :mod:`repro.noc.stats` — per-packet delivery records and link utilization
+  from which latency / throughput / energy / disorder / ISI metrics derive.
+"""
+
+from repro.noc.packet import SpikePacket
+from repro.noc.topology import Topology, mesh, star, torus, tree
+from repro.noc.routing import (
+    RoutingTable,
+    WestFirstRouting,
+    shortest_path_routing,
+    west_first_routing,
+    xy_routing,
+)
+from repro.noc.interconnect import Interconnect, NocConfig
+from repro.noc.stats import DeliveryRecord, NocStats
+from repro.noc.traffic import InjectionSchedule, build_injections
+from repro.noc.faults import degrade_topology, inject_random_faults
+
+__all__ = [
+    "SpikePacket",
+    "Topology",
+    "mesh",
+    "tree",
+    "star",
+    "torus",
+    "RoutingTable",
+    "WestFirstRouting",
+    "xy_routing",
+    "west_first_routing",
+    "shortest_path_routing",
+    "degrade_topology",
+    "inject_random_faults",
+    "Interconnect",
+    "NocConfig",
+    "NocStats",
+    "DeliveryRecord",
+    "InjectionSchedule",
+    "build_injections",
+]

@@ -1,0 +1,82 @@
+"""AER spike packets.
+
+An Address-Event-Representation packet identifies the spike's source neuron
+and carries an injection timestamp (Fig. 2 of the paper); the interconnect
+time-multiplexes these packets between crossbars.  One packet is one flit:
+an AER event is a few bytes (source address + timestamp), well under any
+realistic flit width, so the simulator does not model multi-flit wormhole
+segmentation.
+
+A packet may carry multiple destination routers (multicast — Noxim++
+extension #3).  Routers *fork* a multicast packet when its destinations
+diverge onto different output ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+
+@dataclass
+class SpikePacket:
+    """One AER spike event in flight on the interconnect.
+
+    Attributes
+    ----------
+    uid:
+        Unique id of the spike event (shared by all forked copies so
+        multicast deliveries can be traced back to one injection).
+    src_neuron:
+        Global id of the neuron that fired (the AER source address).
+    src_node:
+        Router where the packet entered the network.
+    dst_nodes:
+        Remaining destination routers this copy must reach.
+    injected_cycle:
+        Cycle at which the spike was offered to the network (encoder
+        output time).
+    hops:
+        Router-to-router link traversals so far (forked copies inherit the
+        parent's count).
+    """
+
+    uid: int
+    src_neuron: int
+    src_node: int
+    dst_nodes: FrozenSet[int]
+    injected_cycle: int
+    hops: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.dst_nodes:
+            raise ValueError(f"packet {self.uid} has no destinations")
+        if self.injected_cycle < 0:
+            raise ValueError(
+                f"packet {self.uid} has negative injection cycle "
+                f"{self.injected_cycle}"
+            )
+
+    def fork(self, subset: FrozenSet[int]) -> "SpikePacket":
+        """Create a copy of this packet covering ``subset`` destinations."""
+        if not subset <= self.dst_nodes:
+            raise ValueError("fork subset must be within remaining destinations")
+        return SpikePacket(
+            uid=self.uid,
+            src_neuron=self.src_neuron,
+            src_node=self.src_node,
+            dst_nodes=subset,
+            injected_cycle=self.injected_cycle,
+            hops=self.hops,
+        )
+
+
+@dataclass(frozen=True)
+class Injection:
+    """A scheduled packet awaiting its injection cycle."""
+
+    cycle: int
+    src_node: int
+    dst_nodes: Tuple[int, ...]
+    src_neuron: int
+    uid: int = field(default=-1)

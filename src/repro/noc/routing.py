@@ -1,0 +1,199 @@
+"""Deterministic routing tables.
+
+Routing is represented as a next-hop table: ``next_hop[(here, dst)] ->
+neighbor``.  Two algorithms are provided:
+
+- :func:`xy_routing` — dimension-ordered XY routing for meshes/tori with
+  grid positions (deadlock-free on meshes, the Noxim default);
+- :func:`shortest_path_routing` — BFS next-hop tables for arbitrary
+  connected graphs (trees, stars).  On trees the shortest path is unique,
+  which makes this exactly the deterministic up-down tree routing CxQuad
+  uses.
+
+Tables are dense dicts; the largest architecture explored in the paper's
+Fig. 6 has a few dozen routers, so table size is negligible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.noc.topology import Topology
+
+
+class RoutingTable:
+    """Next-hop lookup with hop-distance queries.
+
+    Deterministic routing exposes exactly one next hop per (here, dst);
+    adaptive algorithms override :meth:`candidates` to offer several, and
+    the router's selection strategy picks among them at run time.
+    """
+
+    def __init__(
+        self,
+        next_hop: Dict[Tuple[int, int], int],
+        distance: Dict[Tuple[int, int], int],
+        name: str,
+    ) -> None:
+        self._next_hop = next_hop
+        self._distance = distance
+        self.name = name
+
+    def next_hop(self, here: int, dst: int) -> int:
+        """Neighbor to forward to from ``here`` toward ``dst``."""
+        if here == dst:
+            raise ValueError(f"packet already at destination {dst}")
+        return self._next_hop[(here, dst)]
+
+    def candidates(self, here: int, dst: int) -> List[int]:
+        """Admissible next hops (deterministic tables offer exactly one)."""
+        return [self.next_hop(here, dst)]
+
+    def distance(self, src: int, dst: int) -> int:
+        """Hop count of the routed path."""
+        if src == dst:
+            return 0
+        return self._distance[(src, dst)]
+
+
+def shortest_path_routing(topology: Topology) -> RoutingTable:
+    """BFS-based next-hop table for any connected topology.
+
+    Ties between equal-length paths break toward the lowest-numbered
+    neighbor, keeping the route deterministic (required for meaningful
+    in-order analysis of spike streams).
+    """
+    g = topology.graph
+    next_hop: Dict[Tuple[int, int], int] = {}
+    distance: Dict[Tuple[int, int], int] = {}
+    nodes = sorted(g.nodes)
+    for dst in nodes:
+        # BFS from dst over sorted neighbors; parent pointers give the
+        # deterministic next hop toward dst from every router.
+        dist = {dst: 0}
+        toward: Dict[int, int] = {}
+        frontier = [dst]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in sorted(g.neighbors(u)):
+                    if v not in dist:
+                        dist[v] = dist[u] + 1
+                        toward[v] = u
+                        nxt.append(v)
+            frontier = nxt
+        for node, d in dist.items():
+            if node == dst:
+                continue
+            next_hop[(node, dst)] = toward[node]
+            distance[(node, dst)] = d
+    return RoutingTable(next_hop, distance, name=f"shortest-path/{topology.kind}")
+
+
+def xy_routing(topology: Topology) -> RoutingTable:
+    """Dimension-ordered XY routing on a mesh with grid positions.
+
+    Packets move along X until the destination column, then along Y.
+    """
+    if not topology.positions:
+        raise ValueError("XY routing requires grid positions on the topology")
+    pos = topology.positions
+    coord_to_node = {xy: n for n, xy in pos.items()}
+    next_hop: Dict[Tuple[int, int], int] = {}
+    distance: Dict[Tuple[int, int], int] = {}
+    nodes = sorted(topology.graph.nodes)
+    for here in nodes:
+        hx, hy = pos[here]
+        for dst in nodes:
+            if here == dst:
+                continue
+            dx, dy = pos[dst]
+            if hx != dx:
+                step = (hx + (1 if dx > hx else -1), hy)
+            else:
+                step = (hx, hy + (1 if dy > hy else -1))
+            if step not in coord_to_node:
+                raise ValueError(
+                    f"XY route from {here} to {dst} leaves the grid at {step}"
+                )
+            nxt = coord_to_node[step]
+            if not topology.graph.has_edge(here, nxt):
+                raise ValueError(
+                    f"XY route from {here} to {dst} uses missing link "
+                    f"{here}->{nxt}"
+                )
+            next_hop[(here, dst)] = nxt
+            distance[(here, dst)] = abs(dx - hx) + abs(dy - hy)
+    return RoutingTable(next_hop, distance, name="xy/mesh")
+
+
+class WestFirstRouting(RoutingTable):
+    """Minimal adaptive west-first routing for meshes.
+
+    The west-first turn model (Glass & Ni) prohibits turns *into* the
+    west direction: a packet needing to travel west does all west hops
+    first; afterwards it may choose adaptively among the remaining
+    minimal directions (east / north / south) each hop.  Every candidate
+    strictly reduces Manhattan distance, so delivery is guaranteed, and
+    the turn model makes the network deadlock-free with bounded buffers.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        if not topology.positions:
+            raise ValueError("west-first routing requires grid positions")
+        self._pos = topology.positions
+        self._coord_to_node = {xy: n for n, xy in self._pos.items()}
+        self._graph = topology.graph
+        self.name = "west-first/mesh"
+
+    def _neighbor(self, here: int, dx: int, dy: int) -> int:
+        x, y = self._pos[here]
+        target = (x + dx, y + dy)
+        if target not in self._coord_to_node:
+            raise ValueError(f"no router at {target} stepping from {here}")
+        nxt = self._coord_to_node[target]
+        if not self._graph.has_edge(here, nxt):
+            raise ValueError(f"missing mesh link {here}->{nxt}")
+        return nxt
+
+    def candidates(self, here: int, dst: int) -> List[int]:
+        if here == dst:
+            raise ValueError(f"packet already at destination {dst}")
+        hx, hy = self._pos[here]
+        dx, dy = self._pos[dst]
+        if dx < hx:
+            # All westward travel happens first (the only admissible hop).
+            return [self._neighbor(here, -1, 0)]
+        options: List[int] = []
+        if dx > hx:
+            options.append(self._neighbor(here, 1, 0))
+        if dy > hy:
+            options.append(self._neighbor(here, 0, 1))
+        elif dy < hy:
+            options.append(self._neighbor(here, 0, -1))
+        return options
+
+    def next_hop(self, here: int, dst: int) -> int:
+        """Deterministic fallback: the first admissible candidate."""
+        return self.candidates(here, dst)[0]
+
+    def distance(self, src: int, dst: int) -> int:
+        if src == dst:
+            return 0
+        sx, sy = self._pos[src]
+        dx, dy = self._pos[dst]
+        return abs(dx - sx) + abs(dy - sy)
+
+
+def west_first_routing(topology: Topology) -> WestFirstRouting:
+    """Adaptive west-first routing for a positioned mesh topology."""
+    return WestFirstRouting(topology)
+
+
+def routing_for(topology: Topology) -> RoutingTable:
+    """Pick the natural routing algorithm for a topology family."""
+    if topology.kind == "mesh" and topology.positions:
+        return xy_routing(topology)
+    return shortest_path_routing(topology)

@@ -1,0 +1,137 @@
+"""Delivery records and aggregate interconnect statistics.
+
+The simulator produces one :class:`DeliveryRecord` per (packet, destination
+router) delivery.  Everything the paper reports about the interconnect —
+latency (cycles), throughput (AER/ms), energy (via the hardware energy
+model), spike disorder and ISI distortion — is derived from these records,
+so the metrics layer never needs to re-run the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One spike delivered to one destination router."""
+
+    uid: int
+    src_neuron: int
+    src_node: int
+    dst_node: int
+    injected_cycle: int
+    delivered_cycle: int
+    hops: int
+
+
+@dataclass
+class NocStats:
+    """Aggregate outcome of one interconnect simulation.
+
+    Attributes
+    ----------
+    deliveries:
+        All per-destination delivery records.
+    n_injected:
+        Unique spike events offered to the network.
+    n_expected_deliveries:
+        Total (packet, destination) pairs that should be delivered.
+    cycles_run:
+        Cycles simulated until the network drained (or the safety cap hit).
+    link_loads:
+        Packet traversals per directed link ``(u, v)``.
+    peak_buffer_occupancy:
+        High-water mark over all bounded channel buffers.
+    """
+
+    deliveries: List[DeliveryRecord] = field(default_factory=list)
+    n_injected: int = 0
+    n_expected_deliveries: int = 0
+    cycles_run: int = 0
+    link_loads: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    peak_buffer_occupancy: int = 0
+
+    # -- bookkeeping used by the simulator ---------------------------------
+
+    def record(self, rec: DeliveryRecord) -> None:
+        self.deliveries.append(rec)
+
+    def count_link(self, u: int, v: int) -> None:
+        self.link_loads[(u, v)] = self.link_loads.get((u, v), 0) + 1
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def delivered_count(self) -> int:
+        return len(self.deliveries)
+
+    @property
+    def undelivered_count(self) -> int:
+        return self.n_expected_deliveries - self.delivered_count
+
+    def latencies(self) -> np.ndarray:
+        """Per-delivery latency in cycles (decoder receive - encoder send)."""
+        return np.asarray(
+            [r.delivered_cycle - r.injected_cycle for r in self.deliveries],
+            dtype=np.int64,
+        )
+
+    def max_latency(self) -> int:
+        """Worst-case spike latency on the interconnect (paper Table II row)."""
+        lat = self.latencies()
+        return int(lat.max()) if lat.size else 0
+
+    def mean_latency(self) -> float:
+        lat = self.latencies()
+        return float(lat.mean()) if lat.size else 0.0
+
+    def total_hops(self) -> int:
+        """Total link traversals — the energy-proportional event count."""
+        return int(sum(self.link_loads.values()))
+
+    def throughput_packets_per_cycle(self) -> float:
+        if self.cycles_run == 0:
+            return 0.0
+        return self.delivered_count / self.cycles_run
+
+    def throughput_aer_per_ms(self, cycles_per_ms: float) -> float:
+        """AER packets delivered per millisecond (paper Table II row)."""
+        if self.cycles_run == 0:
+            return 0.0
+        duration_ms = self.cycles_run / cycles_per_ms
+        return self.delivered_count / duration_ms
+
+    def hottest_links(self, top: int = 5) -> List[Tuple[Tuple[int, int], int]]:
+        """The ``top`` most-loaded directed links, for congestion reports."""
+        return sorted(self.link_loads.items(), key=lambda kv: -kv[1])[:top]
+
+    def records_by_destination(self) -> Dict[int, List[DeliveryRecord]]:
+        """Deliveries grouped by destination router, each in delivery order."""
+        grouped: Dict[int, List[DeliveryRecord]] = {}
+        for rec in self.deliveries:
+            grouped.setdefault(rec.dst_node, []).append(rec)
+        for recs in grouped.values():
+            recs.sort(key=lambda r: (r.delivered_cycle, r.uid))
+        return grouped
+
+    def records_by_flow(self) -> Dict[Tuple[int, int], List[DeliveryRecord]]:
+        """Deliveries grouped by (source neuron, destination router) flow."""
+        grouped: Dict[Tuple[int, int], List[DeliveryRecord]] = {}
+        for rec in self.deliveries:
+            grouped.setdefault((rec.src_neuron, rec.dst_node), []).append(rec)
+        for recs in grouped.values():
+            recs.sort(key=lambda r: (r.delivered_cycle, r.uid))
+        return grouped
+
+    def describe(self) -> str:
+        return (
+            f"NocStats: {self.delivered_count}/{self.n_expected_deliveries} "
+            f"deliveries over {self.cycles_run} cycles, "
+            f"max latency {self.max_latency()} cy, "
+            f"mean latency {self.mean_latency():.1f} cy, "
+            f"{self.total_hops()} link hops"
+        )

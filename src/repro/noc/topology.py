@@ -1,0 +1,223 @@
+"""Interconnect topologies with crossbar attach points.
+
+A :class:`Topology` is an undirected router graph plus the ordered list of
+*attach points*: the routers where crossbars (tiles) connect.  The paper's
+reference platforms differ exactly here — CxQuad uses a NoC-tree whose
+leaves host crossbars, TrueNorth/HiCANN use a NoC-mesh with one crossbar
+per router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class Topology:
+    """Router graph + crossbar attach points.
+
+    Attributes
+    ----------
+    graph:
+        Undirected :class:`networkx.Graph` of routers; nodes are ints.
+    attach_points:
+        ``attach_points[k]`` is the router hosting crossbar ``k``.
+    kind:
+        Topology family name ("mesh", "tree", ...), used by routing
+        selection and reports.
+    positions:
+        Optional (x, y) grid coordinates per router; required by XY routing.
+    """
+
+    graph: nx.Graph
+    attach_points: List[int]
+    kind: str
+    positions: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        missing = [n for n in self.attach_points if n not in self.graph]
+        if missing:
+            raise ValueError(f"attach points {missing} are not routers in the graph")
+        if len(set(self.attach_points)) != len(self.attach_points):
+            raise ValueError("attach points must be distinct routers")
+        if not nx.is_connected(self.graph):
+            raise ValueError("topology graph must be connected")
+
+    @property
+    def n_routers(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def n_attach_points(self) -> int:
+        return len(self.attach_points)
+
+    def node_of_crossbar(self, k: int) -> int:
+        """Router hosting crossbar ``k``."""
+        if not 0 <= k < len(self.attach_points):
+            raise IndexError(
+                f"crossbar index {k} out of range "
+                f"[0, {len(self.attach_points)})"
+            )
+        return self.attach_points[k]
+
+    def diameter(self) -> int:
+        """Longest shortest-path (hops) between any two routers."""
+        return nx.diameter(self.graph)
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind} topology: {self.n_routers} routers, "
+            f"{self.graph.number_of_edges()} links, "
+            f"{self.n_attach_points} crossbar attach points"
+        )
+
+
+def mesh(width: int, height: Optional[int] = None) -> Topology:
+    """2D mesh with one crossbar attach point per router (TrueNorth-style).
+
+    Routers are numbered row-major; router (x, y) has id ``y * width + x``.
+    """
+    check_positive("width", width)
+    if height is None:
+        height = width
+    check_positive("height", height)
+    g = nx.Graph()
+    positions: Dict[int, Tuple[int, int]] = {}
+    for y in range(height):
+        for x in range(width):
+            node = y * width + x
+            g.add_node(node)
+            positions[node] = (x, y)
+            if x > 0:
+                g.add_edge(node, node - 1)
+            if y > 0:
+                g.add_edge(node, node - width)
+    return Topology(
+        graph=g,
+        attach_points=list(range(width * height)),
+        kind="mesh",
+        positions=positions,
+    )
+
+
+def tree(n_leaves: int, arity: int = 2) -> Topology:
+    """Balanced routing tree with crossbars on the leaves (CxQuad-style).
+
+    Internal routers switch traffic only; leaf routers host crossbars.  The
+    tree is as balanced as possible for the requested leaf count: leaves are
+    grouped ``arity`` at a time under parent routers until one root remains.
+    A single leaf degenerates to one router that is both root and leaf.
+    """
+    check_positive("n_leaves", n_leaves)
+    if arity < 2:
+        raise ValueError(f"tree arity must be >= 2, got {arity}")
+    g = nx.Graph()
+    leaves = list(range(n_leaves))
+    g.add_nodes_from(leaves)
+    next_id = n_leaves
+    frontier = leaves[:]
+    while len(frontier) > 1:
+        parents = []
+        for i in range(0, len(frontier), arity):
+            group = frontier[i : i + arity]
+            if len(group) == 1 and parents:
+                # Attach a trailing singleton to the previous parent rather
+                # than creating a chain of unary routers.
+                g.add_edge(parents[-1], group[0])
+                continue
+            parent = next_id
+            next_id += 1
+            g.add_node(parent)
+            for child in group:
+                g.add_edge(parent, child)
+            parents.append(parent)
+        frontier = parents
+    return Topology(graph=g, attach_points=leaves, kind="tree")
+
+
+def star(n_crossbars: int) -> Topology:
+    """All crossbars attached around a single hub router."""
+    check_positive("n_crossbars", n_crossbars)
+    g = nx.Graph()
+    hub = n_crossbars
+    g.add_node(hub)
+    for k in range(n_crossbars):
+        g.add_edge(hub, k)
+    if n_crossbars == 1:
+        # A lone crossbar still needs a connected two-node graph so routing
+        # tables are well formed; hub-leaf link is never used.
+        pass
+    return Topology(graph=g, attach_points=list(range(n_crossbars)), kind="star")
+
+
+def torus(width: int, height: Optional[int] = None) -> Topology:
+    """2D torus (mesh with wraparound links), one crossbar per router."""
+    check_positive("width", width)
+    if height is None:
+        height = width
+    check_positive("height", height)
+    base = mesh(width, height)
+    g = base.graph
+    if width > 2:
+        for y in range(height):
+            g.add_edge(y * width, y * width + width - 1)
+    if height > 2:
+        for x in range(width):
+            g.add_edge(x, (height - 1) * width + x)
+    return Topology(
+        graph=g,
+        attach_points=list(base.attach_points),
+        kind="torus",
+        positions=dict(base.positions),
+    )
+
+
+def mesh_for(n_crossbars: int) -> Topology:
+    """Smallest near-square mesh with at least ``n_crossbars`` routers.
+
+    Attach points are the first ``n_crossbars`` routers in row-major order.
+    """
+    check_positive("n_crossbars", n_crossbars)
+    import math
+
+    width = int(math.ceil(math.sqrt(n_crossbars)))
+    height = int(math.ceil(n_crossbars / width))
+    topo = mesh(width, height)
+    return Topology(
+        graph=topo.graph,
+        attach_points=list(range(n_crossbars)),
+        kind="mesh",
+        positions=topo.positions,
+    )
+
+
+def build_topology(kind: str, n_crossbars: int, **kwargs) -> Topology:
+    """Topology factory keyed by family name ("tree", "mesh", "star", "torus")."""
+    builders = {
+        "tree": lambda: tree(n_crossbars, arity=kwargs.get("arity", 2)),
+        "mesh": lambda: mesh_for(n_crossbars),
+        "star": lambda: star(n_crossbars),
+        "torus": lambda: _torus_for(n_crossbars),
+    }
+    if kind not in builders:
+        raise ValueError(f"unknown topology kind {kind!r}; options: {sorted(builders)}")
+    return builders[kind]()
+
+
+def _torus_for(n_crossbars: int) -> Topology:
+    import math
+
+    width = int(math.ceil(math.sqrt(n_crossbars)))
+    height = int(math.ceil(n_crossbars / width))
+    topo = torus(width, height)
+    return Topology(
+        graph=topo.graph,
+        attach_points=list(range(n_crossbars)),
+        kind="torus",
+        positions=dict(topo.positions),
+    )

@@ -1,0 +1,162 @@
+"""Convert a mapped spike graph into an AER injection schedule.
+
+Given the neuron→crossbar assignment chosen by a partitioner, every spike
+of every neuron that has at least one *global* synapse (a post-synaptic
+target on a different crossbar) becomes one AER packet, injected at the
+crossbar hosting the neuron and destined for the set of crossbars hosting
+its remote targets.  Spike times (ms, from the SNN simulation) are mapped
+to interconnect cycles through ``cycles_per_ms`` — the ratio between the
+NoC clock and biological real time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
+
+import numpy as np
+
+from repro.noc.packet import Injection
+from repro.noc.topology import Topology
+from repro.snn.graph import SpikeGraph
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class InjectionSchedule:
+    """A ready-to-simulate packet schedule plus its provenance."""
+
+    injections: List[Injection]
+    cycles_per_ms: float
+    n_source_neurons: int
+    n_spike_events: int
+
+    @property
+    def n_packets(self) -> int:
+        return len(self.injections)
+
+    def duration_cycles(self) -> int:
+        if not self.injections:
+            return 0
+        return max(i.cycle for i in self.injections) + 1
+
+
+def global_destinations(
+    graph: SpikeGraph, assignment: np.ndarray
+) -> Dict[int, Set[int]]:
+    """Remote crossbars each neuron must reach: ``neuron -> {crossbar}``.
+
+    Only neurons with at least one inter-crossbar synapse appear.
+    Self-loops and local synapses contribute nothing.
+    """
+    if assignment.shape[0] != graph.n_neurons:
+        raise ValueError(
+            f"assignment covers {assignment.shape[0]} neurons, graph has "
+            f"{graph.n_neurons}"
+        )
+    dests: Dict[int, Set[int]] = {}
+    src_cluster = assignment[graph.src]
+    dst_cluster = assignment[graph.dst]
+    remote = src_cluster != dst_cluster
+    for s, c in zip(graph.src[remote], dst_cluster[remote]):
+        dests.setdefault(int(s), set()).add(int(c))
+    return dests
+
+
+def build_injections(
+    graph: SpikeGraph,
+    assignment: np.ndarray,
+    topology: Topology,
+    cycles_per_ms: float = 10.0,
+) -> InjectionSchedule:
+    """Build the AER injection schedule for a mapped spike graph.
+
+    Each spike of a neuron with remote targets becomes one multicast
+    injection (the interconnect config decides whether it travels as one
+    forked packet or per-destination unicast copies).
+    """
+    check_positive("cycles_per_ms", cycles_per_ms)
+    assignment = np.asarray(assignment, dtype=np.int64)
+    dests = global_destinations(graph, assignment)
+
+    injections: List[Injection] = []
+    uid = 0
+    n_events = 0
+    for neuron in sorted(dests):
+        crossbars = dests[neuron]
+        src_node = topology.node_of_crossbar(int(assignment[neuron]))
+        dst_nodes = tuple(
+            sorted(topology.node_of_crossbar(c) for c in crossbars)
+        )
+        for t_ms in graph.spike_times[neuron]:
+            injections.append(
+                Injection(
+                    cycle=int(round(t_ms * cycles_per_ms)),
+                    src_node=src_node,
+                    dst_nodes=dst_nodes,
+                    src_neuron=neuron,
+                    uid=uid,
+                )
+            )
+            uid += 1
+            n_events += 1
+    injections.sort(key=lambda i: (i.cycle, i.uid))
+    return InjectionSchedule(
+        injections=injections,
+        cycles_per_ms=cycles_per_ms,
+        n_source_neurons=len(dests),
+        n_spike_events=n_events,
+    )
+
+
+def synthetic_injections(
+    rates_per_node: Sequence[float],
+    topology: Topology,
+    duration_cycles: int,
+    fanout: int = 1,
+    seed=None,
+) -> InjectionSchedule:
+    """Uniform-random synthetic traffic for stress-testing the NoC itself.
+
+    Each attach point injects Bernoulli(rate) packets per cycle toward
+    ``fanout`` uniformly chosen other attach points.  Used by NoC unit
+    tests and the multicast ablation bench, not by the paper pipeline.
+    """
+    from repro.utils.rng import default_rng
+
+    check_positive("duration_cycles", duration_cycles)
+    rng = default_rng(seed)
+    nodes = [topology.node_of_crossbar(k) for k in range(topology.n_attach_points)]
+    if len(rates_per_node) != len(nodes):
+        raise ValueError(
+            f"need one rate per attach point ({len(nodes)}), got "
+            f"{len(rates_per_node)}"
+        )
+    injections: List[Injection] = []
+    uid = 0
+    for cycle in range(duration_cycles):
+        for k, rate in enumerate(rates_per_node):
+            if rng.random() >= rate:
+                continue
+            others = [n for n in nodes if n != nodes[k]]
+            if not others:
+                continue
+            chosen = rng.choice(
+                len(others), size=min(fanout, len(others)), replace=False
+            )
+            injections.append(
+                Injection(
+                    cycle=cycle,
+                    src_node=nodes[k],
+                    dst_nodes=tuple(sorted(others[i] for i in chosen)),
+                    src_neuron=k,
+                    uid=uid,
+                )
+            )
+            uid += 1
+    return InjectionSchedule(
+        injections=injections,
+        cycles_per_ms=1.0,
+        n_source_neurons=len(nodes),
+        n_spike_events=len(injections),
+    )

@@ -1,0 +1,68 @@
+"""Spiking-neural-network simulation substrate (CARLsim substitute).
+
+The paper uses CARLsim, a GPU-accelerated SNN simulator, purely to produce a
+*spike graph*: the trained network's synapse list annotated with the spike
+times each synapse carries.  This package provides a clock-driven,
+numpy-vectorized SNN simulator that produces the same artifact
+(:class:`repro.snn.graph.SpikeGraph`) for the same application topologies.
+
+Public API
+----------
+- Neuron models: :class:`LIFModel`, :class:`IzhikevichModel`
+- Network construction: :class:`Network`, :class:`Population`, :class:`Projection`
+- Spike sources: :class:`PoissonSource`, :class:`RegularSource`,
+  :class:`ScheduledSource`
+- Simulation: :class:`Simulation`, :class:`SimulationResult`
+- Plasticity: :class:`STDPRule`
+- Coding: :func:`rate_encode`, :func:`latency_encode`, :func:`rate_decode`
+- Graph extraction: :class:`SpikeGraph`
+"""
+
+from repro.snn.neuron import (
+    AdaptiveLIFModel,
+    IzhikevichModel,
+    LIFModel,
+    NeuronModel,
+)
+from repro.snn.network import Network, Population, Projection
+from repro.snn.generators import (
+    PoissonSource,
+    RegularSource,
+    ScheduledSource,
+    SpikeSource,
+)
+from repro.snn.simulator import Simulation, SimulationResult
+from repro.snn.stdp import STDPRule
+from repro.snn.coding import latency_encode, rate_decode, rate_encode
+from repro.snn.analysis import (
+    firing_rate_hz,
+    isi_cv,
+    population_rate,
+    synchrony_index,
+)
+from repro.snn.graph import SpikeGraph
+
+__all__ = [
+    "NeuronModel",
+    "LIFModel",
+    "AdaptiveLIFModel",
+    "IzhikevichModel",
+    "Network",
+    "Population",
+    "Projection",
+    "SpikeSource",
+    "PoissonSource",
+    "RegularSource",
+    "ScheduledSource",
+    "Simulation",
+    "SimulationResult",
+    "STDPRule",
+    "rate_encode",
+    "latency_encode",
+    "rate_decode",
+    "firing_rate_hz",
+    "isi_cv",
+    "population_rate",
+    "synchrony_index",
+    "SpikeGraph",
+]

@@ -1,0 +1,127 @@
+"""Spike-train analysis utilities.
+
+Post-simulation statistics used by the applications, examples and tests:
+rate profiles, ISI regularity (coefficient of variation), pairwise
+synchrony, and population activity binning.  These mirror the analysis
+CARLsim ships with its SpikeMonitor.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.snn.coding import interspike_intervals
+from repro.utils.validation import check_positive
+
+
+def firing_rate_hz(spike_times: np.ndarray, duration_ms: float) -> float:
+    """Mean rate of one train over the recording window."""
+    check_positive("duration_ms", duration_ms)
+    return float(np.asarray(spike_times).size / (duration_ms / 1000.0))
+
+
+def isi_cv(spike_times: np.ndarray) -> float:
+    """Coefficient of variation of a train's ISIs.
+
+    ~0 for clock-regular trains, ~1 for Poisson trains, >1 for bursty
+    trains; NaN when fewer than three spikes (no two ISIs).
+    """
+    isis = interspike_intervals(spike_times)
+    if isis.size < 2 or isis.mean() == 0:
+        return float("nan")
+    return float(isis.std() / isis.mean())
+
+
+def population_rate(
+    spike_times: Sequence[np.ndarray],
+    duration_ms: float,
+    bin_ms: float = 10.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Population firing rate over time.
+
+    Returns ``(bin_centers_ms, rate_hz_per_neuron)`` where the rate is the
+    instantaneous population-mean rate in each bin.
+    """
+    check_positive("duration_ms", duration_ms)
+    check_positive("bin_ms", bin_ms)
+    n_neurons = max(len(spike_times), 1)
+    edges = np.arange(0.0, duration_ms + bin_ms, bin_ms)
+    all_spikes = (
+        np.concatenate([np.asarray(t) for t in spike_times])
+        if spike_times else np.empty(0)
+    )
+    counts, _ = np.histogram(all_spikes, bins=edges)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    rates = counts / n_neurons / (bin_ms / 1000.0)
+    return centers, rates
+
+
+def synchrony_index(
+    spike_times: Sequence[np.ndarray],
+    duration_ms: float,
+    bin_ms: float = 5.0,
+) -> float:
+    """Population synchrony: variance-based index of Golomb & Hansel.
+
+    Ratio of the variance of the population-averaged binned activity to
+    the mean variance of individual binned trains.  1 for perfectly
+    synchronized populations, -> 0 for asynchronous ones.  NaN when no
+    neuron varies.
+    """
+    check_positive("duration_ms", duration_ms)
+    n = len(spike_times)
+    if n == 0:
+        return float("nan")
+    edges = np.arange(0.0, duration_ms + bin_ms, bin_ms)
+    binned = np.stack([
+        np.histogram(np.asarray(t), bins=edges)[0].astype(float)
+        for t in spike_times
+    ])
+    individual_var = binned.var(axis=1).mean()
+    if individual_var == 0:
+        return float("nan")
+    population_var = binned.mean(axis=0).var()
+    return float(population_var / individual_var)
+
+
+def active_fraction(
+    spike_times: Sequence[np.ndarray], threshold_spikes: int = 1
+) -> float:
+    """Fraction of neurons with at least ``threshold_spikes`` spikes."""
+    if not spike_times:
+        return 0.0
+    active = sum(
+        1 for t in spike_times if np.asarray(t).size >= threshold_spikes
+    )
+    return active / len(spike_times)
+
+
+def rate_histogram(
+    spike_times: Sequence[np.ndarray],
+    duration_ms: float,
+    n_bins: int = 10,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram of per-neuron firing rates: ``(bin_edges_hz, counts)``."""
+    check_positive("duration_ms", duration_ms)
+    rates = np.asarray(
+        [firing_rate_hz(t, duration_ms) for t in spike_times]
+    )
+    counts, edges = np.histogram(rates, bins=n_bins)
+    return edges, counts
+
+
+def spike_raster(
+    spike_times: Sequence[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten trains into raster coordinates ``(times_ms, neuron_ids)``."""
+    times: List[np.ndarray] = []
+    ids: List[np.ndarray] = []
+    for i, t in enumerate(spike_times):
+        arr = np.asarray(t, dtype=np.float64)
+        times.append(arr)
+        ids.append(np.full(arr.size, i, dtype=np.int64))
+    if not times:
+        return np.empty(0), np.empty(0, dtype=np.int64)
+    return np.concatenate(times), np.concatenate(ids)

@@ -1,0 +1,212 @@
+"""Clock-driven SNN simulation engine.
+
+The simulator advances all populations on a fixed tick (default 1 ms,
+CARLsim's resolution).  Each tick:
+
+1. stimulus populations draw spikes from their sources;
+2. spikes scheduled to arrive this tick (projection delays) are converted
+   into synaptic input currents on their target populations;
+3. dynamical populations integrate one step and emit spikes;
+4. emitted spikes are recorded and enqueued on outgoing projections;
+5. plastic projections apply their STDP rule.
+
+The result object exposes per-neuron spike time arrays — the raw material
+for :class:`repro.snn.graph.SpikeGraph`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.snn.network import Network, Population, Projection
+from repro.snn.neuron import NeuronState
+from repro.snn.stdp import STDPRule, STDPState
+from repro.utils.rng import SeedLike, default_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run.
+
+    ``spike_times[g]`` is a sorted float array of spike times (ms) for the
+    neuron with global id ``g``; sources and dynamical neurons alike.
+    """
+
+    network_name: str
+    duration_ms: float
+    dt: float
+    spike_times: List[np.ndarray]
+
+    @property
+    def n_neurons(self) -> int:
+        return len(self.spike_times)
+
+    def spike_counts(self) -> np.ndarray:
+        """Number of spikes emitted by each neuron."""
+        return np.asarray([t.size for t in self.spike_times], dtype=np.int64)
+
+    def total_spikes(self) -> int:
+        return int(self.spike_counts().sum())
+
+    def firing_rates_hz(self) -> np.ndarray:
+        """Mean firing rate of each neuron over the run."""
+        return self.spike_counts() / (self.duration_ms / 1000.0)
+
+    def population_rates_hz(self, network: Network) -> Dict[str, float]:
+        """Mean firing rate per population, keyed by population name."""
+        rates = self.firing_rates_hz()
+        return {
+            pop.name: float(rates[pop.id_offset : pop.id_offset + pop.size].mean())
+            for pop in network.populations
+        }
+
+
+class Simulation:
+    """Run a :class:`Network` for a fixed duration.
+
+    Parameters
+    ----------
+    network:
+        The SNN to simulate.  The network object is not mutated except for
+        plastic projection weights (when ``learning`` is on).
+    dt:
+        Tick length in milliseconds.
+    seed:
+        Seed or generator for all stochastic sources.
+    stdp:
+        Optional STDP rule applied to every projection marked ``plastic``.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        dt: float = 1.0,
+        seed: SeedLike = None,
+        stdp: Optional[STDPRule] = None,
+    ) -> None:
+        check_positive("dt", dt)
+        self.network = network
+        self.dt = float(dt)
+        self.rng = default_rng(seed)
+        self.stdp = stdp
+        self._validate_delays()
+
+    def _validate_delays(self) -> None:
+        for proj in self.network.projections:
+            ticks = proj.delay_ms / self.dt
+            if abs(ticks - round(ticks)) > 1e-9:
+                raise ValueError(
+                    f"projection {proj.describe()}: delay {proj.delay_ms} ms is not "
+                    f"a whole number of ticks at dt={self.dt} ms"
+                )
+
+    def run(self, duration_ms: float, learning: bool = True) -> SimulationResult:
+        """Simulate for ``duration_ms`` and return recorded spikes."""
+        check_positive("duration_ms", duration_ms)
+        n_steps = int(round(duration_ms / self.dt))
+        net = self.network
+
+        states: Dict[str, NeuronState] = {}
+        for pop in net.populations:
+            if not pop.is_source:
+                states[pop.name] = pop.model.allocate_state(pop.size)
+            elif pop.source is not None:
+                pop.source.reset()
+
+        # Per-projection delay lines: deque of spike-index arrays, one slot
+        # per tick of delay.  Slot 0 is delivered on the *next* tick.
+        delay_lines: Dict[int, deque] = {}
+        for pi, proj in enumerate(net.projections):
+            ticks = max(1, int(round(proj.delay_ms / self.dt)))
+            delay_lines[pi] = deque(
+                [np.empty(0, dtype=np.int64) for _ in range(ticks)], maxlen=ticks
+            )
+
+        stdp_states: Dict[int, STDPState] = {}
+        if self.stdp is not None:
+            for pi, proj in enumerate(net.projections):
+                if proj.plastic:
+                    stdp_states[pi] = self.stdp.allocate_state(
+                        proj.pre.size, proj.post.size
+                    )
+
+        recorded: List[List[float]] = [[] for _ in range(net.n_neurons)]
+        out_projections: Dict[str, List[int]] = {pop.name: [] for pop in net.populations}
+        for pi, proj in enumerate(net.projections):
+            out_projections[proj.pre.name].append(pi)
+
+        for step in range(n_steps):
+            t_now = step * self.dt
+
+            # 1. Deliver delayed spikes into input currents.
+            currents: Dict[str, np.ndarray] = {
+                pop.name: np.full(pop.size, pop.bias_current, dtype=np.float64)
+                for pop in net.populations
+                if not pop.is_source
+            }
+            arrivals: Dict[int, np.ndarray] = {}
+            for pi, proj in enumerate(net.projections):
+                arriving = delay_lines[pi][0]
+                arrivals[pi] = arriving
+                if arriving.size and not proj.post.is_source:
+                    currents[proj.post.name] += proj.weights[arriving, :].sum(axis=0)
+
+            # 2. Advance dynamics / sample sources; collect this tick's spikes.
+            spikes_by_pop: Dict[str, np.ndarray] = {}
+            for pop in net.populations:
+                if pop.is_source:
+                    fired = pop.source.sample(step, self.dt, self.rng)
+                else:
+                    mask = pop.model.step(
+                        states[pop.name], currents[pop.name], self.dt
+                    )
+                    fired = np.nonzero(mask)[0]
+                spikes_by_pop[pop.name] = fired
+                base = pop.id_offset
+                for local in fired:
+                    recorded[base + int(local)].append(t_now)
+
+            # 3. STDP on plastic projections (pre arrivals vs post spikes).
+            if self.stdp is not None and learning:
+                for pi, state in stdp_states.items():
+                    proj = net.projections[pi]
+                    self.stdp.step(
+                        state,
+                        proj.weights,
+                        pre_spikes=spikes_by_pop[proj.pre.name],
+                        post_spikes=spikes_by_pop[proj.post.name],
+                        dt=self.dt,
+                    )
+
+            # 4. Enqueue emitted spikes on outgoing delay lines.
+            for pop in net.populations:
+                fired = spikes_by_pop[pop.name]
+                for pi in out_projections[pop.name]:
+                    delay_lines[pi].append(fired)
+
+        spike_arrays = [np.asarray(times, dtype=np.float64) for times in recorded]
+        return SimulationResult(
+            network_name=net.name,
+            duration_ms=n_steps * self.dt,
+            dt=self.dt,
+            spike_times=spike_arrays,
+        )
+
+
+def run_network(
+    network: Network,
+    duration_ms: float,
+    dt: float = 1.0,
+    seed: SeedLike = None,
+    stdp: Optional[STDPRule] = None,
+    learning: bool = True,
+) -> SimulationResult:
+    """One-call convenience wrapper: build a Simulation and run it."""
+    return Simulation(network, dt=dt, seed=seed, stdp=stdp).run(
+        duration_ms, learning=learning
+    )

@@ -1,0 +1,20 @@
+"""Shared utilities: RNG management, validation helpers, table formatting."""
+
+from repro.utils.rng import default_rng, spawn_rngs
+from repro.utils.validation import (
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+from repro.utils.tables import format_table
+
+__all__ = [
+    "default_rng",
+    "spawn_rngs",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+    "check_shape",
+    "format_table",
+]

@@ -1,0 +1,119 @@
+"""Dependency-free ASCII charts.
+
+The paper's figures are bar charts (Fig. 5) and line plots (Figs. 6-7).
+These helpers render comparable charts in a terminal so the reproduction
+is inspectable without matplotlib: horizontal bar charts for grouped
+comparisons and a down-sampled line plot for sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.utils.validation import check_positive
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Horizontal bar chart; bars scale to the max value."""
+    check_positive("width", width)
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels but {len(values)} values"
+        )
+    if any(v < 0 for v in values):
+        raise ValueError("bar values must be non-negative")
+    lines: List[str] = [title] if title else []
+    if not values:
+        return "\n".join(lines + ["(empty)"])
+    peak = max(values) or 1.0
+    label_w = max(len(l) for l in labels)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1 if value > 0 else 0, round(value / peak * width))
+        lines.append(f"{label.ljust(label_w)} | {bar} {value:g}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Fig. 5-style grouped bars: one block per group, one bar per series."""
+    for name, values in series.items():
+        if len(values) != len(groups):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(groups)} groups"
+            )
+    lines: List[str] = [title] if title else []
+    peak = max(
+        (v for values in series.values() for v in values), default=1.0
+    ) or 1.0
+    name_w = max((len(n) for n in series), default=0)
+    for g, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for name, values in series.items():
+            value = values[g]
+            bar = "#" * max(1 if value > 0 else 0,
+                            round(value / peak * width))
+            lines.append(f"  {name.ljust(name_w)} | {bar} {value:g}")
+    return "\n".join(lines)
+
+
+def line_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    height: int = 12,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Down-sampled ASCII line plot with y-axis labels.
+
+    Points are binned to the character grid and marked with ``*``; the
+    y-axis shows the min/max range.
+    """
+    check_positive("height", height)
+    check_positive("width", width)
+    if len(xs) != len(ys):
+        raise ValueError(f"{len(xs)} xs but {len(ys)} ys")
+    lines: List[str] = [title] if title else []
+    if not xs:
+        return "\n".join(lines + ["(empty)"])
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = min(width - 1, int((x - x_lo) / x_span * (width - 1)))
+        row = min(height - 1, int((y - y_lo) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+    label_hi = f"{y_hi:g}"
+    label_lo = f"{y_lo:g}"
+    pad = max(len(label_hi), len(label_lo))
+    for r, row_chars in enumerate(grid):
+        label = label_hi if r == 0 else (label_lo if r == height - 1 else "")
+        lines.append(f"{label.rjust(pad)} |{''.join(row_chars)}")
+    lines.append(" " * pad + " +" + "-" * width)
+    lines.append(
+        " " * pad + f"  {x_lo:g}" + " " * max(1, width - 12) + f"{x_hi:g}"
+    )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend: eight-level block characters."""
+    blocks = "▁▂▃▄▅▆▇█"
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(
+        blocks[min(7, int((v - lo) / span * 7.999))] for v in values
+    )

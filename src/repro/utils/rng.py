@@ -1,0 +1,55 @@
+"""Random-number-generator helpers.
+
+Every stochastic component in the library (Poisson sources, PSO velocity
+binarization, synthetic workloads) accepts either an integer seed or a
+:class:`numpy.random.Generator`.  Centralizing the coercion here keeps
+experiments reproducible: a single seed at the pipeline level fans out to
+independent, deterministic streams for each component.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def default_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    ``None`` yields a non-deterministic generator; an ``int`` seeds a new
+    PCG64 generator; an existing generator is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> Sequence[np.random.Generator]:
+    """Create ``n`` independent generators derived from one seed.
+
+    Uses :class:`numpy.random.SeedSequence` spawning so the streams are
+    statistically independent regardless of how many are requested.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of rngs: {n}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the generator's bit stream deterministically.
+        child_seeds = seed.integers(0, 2**63 - 1, size=n)
+        return [np.random.default_rng(int(s)) for s in child_seeds]
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in seq.spawn(n)]
+
+
+def derive_seed(seed: SeedLike, salt: int) -> Optional[int]:
+    """Derive a deterministic child seed from ``seed`` and an integer salt.
+
+    Returns ``None`` when ``seed`` is ``None`` (preserving non-determinism).
+    """
+    if seed is None:
+        return None
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**63 - 1))
+    return int(np.random.SeedSequence([seed, salt]).generate_state(1)[0])

@@ -1,0 +1,52 @@
+"""Small argument-validation helpers used across the library.
+
+These raise ``ValueError`` with a message naming the offending argument,
+so failures surface at the public API boundary rather than deep inside
+numpy broadcasting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_shape(name: str, array: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Require ``array.shape == shape``."""
+    if array.shape != shape:
+        raise ValueError(f"{name} must have shape {shape}, got {array.shape}")
+    return array
+
+
+def check_index_range(name: str, indices: Sequence[int], upper: int) -> None:
+    """Require every index in ``indices`` to lie in ``[0, upper)``."""
+    arr = np.asarray(indices)
+    if arr.size == 0:
+        return
+    if arr.min() < 0 or arr.max() >= upper:
+        raise ValueError(
+            f"{name} contains out-of-range indices "
+            f"(min={arr.min()}, max={arr.max()}, allowed=[0, {upper}))"
+        )

@@ -1,0 +1,74 @@
+"""Tests for the convolutional synthetic workload."""
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import (
+    build_convnet,
+    conv_connectivity,
+    convolutional_feedforward,
+)
+
+
+class TestConvConnectivity:
+    def test_receptive_field_size(self):
+        w = conv_connectivity(8, 8, kernel_radius=1, weight=1.0)
+        # Interior post-neuron integrates a full 3x3 patch.
+        interior = 3 * 8 + 3
+        assert np.count_nonzero(w[:, interior]) == 9
+
+    def test_edge_clipping(self):
+        w = conv_connectivity(8, 8, kernel_radius=1, weight=1.0)
+        corner = 0
+        assert np.count_nonzero(w[:, corner]) == 4  # 2x2 clipped patch
+
+    def test_downsampling_alignment(self):
+        """Post (0,0) of a 2x downsample looks at the pre top-left region."""
+        w = conv_connectivity(8, 4, kernel_radius=1, weight=1.0)
+        sources = np.nonzero(w[:, 0])[0]
+        rows, cols = sources // 8, sources % 8
+        assert rows.max() <= 2 and cols.max() <= 2
+
+    def test_zero_radius_single_tap(self):
+        w = conv_connectivity(4, 4, kernel_radius=0, weight=2.0)
+        assert (np.count_nonzero(w, axis=0) == 1).all()
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            conv_connectivity(4, 4, kernel_radius=-1, weight=1.0)
+
+
+class TestConvolutionalNetwork:
+    def test_topology_sizes(self):
+        net = convolutional_feedforward([16, 8, 4], seed=0)
+        assert net.n_neurons == 256 + 64 + 16
+        assert [p.layer for p in net.populations] == [0, 1, 2]
+
+    def test_growing_layer_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            convolutional_feedforward([4, 8], seed=0)
+
+    def test_locality_bounds_fanout(self):
+        net = convolutional_feedforward([16, 8], kernel_radius=1, seed=0)
+        proj = net.projections[0]
+        # Each pre-neuron feeds at most the posts whose fields cover it.
+        fanout = np.count_nonzero(proj.weights, axis=1)
+        assert fanout.max() <= 9
+
+    def test_all_layers_fire(self):
+        graph = build_convnet([12, 6, 3], seed=0, duration_ms=400.0)
+        counts = graph.spike_counts()
+        for layer in range(3):
+            assert counts[graph.layers == layer].sum() > 0, f"layer {layer}"
+
+    def test_convnet_is_highly_mappable(self):
+        """Spatial locality: PSO keeps most synapses local."""
+        from repro.core import PSOConfig, map_snn
+        from repro.hardware.presets import custom
+
+        graph = build_convnet([12, 6], seed=0, duration_ms=300.0)
+        arch = custom(n_crossbars=4, neurons_per_crossbar=52)
+        pso = map_snn(graph, arch, method="pso", seed=1,
+                      pso_config=PSOConfig(n_particles=40, n_iterations=30))
+        rnd = map_snn(graph, arch, method="random", seed=1)
+        assert pso.global_spikes < rnd.global_spikes

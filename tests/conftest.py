@@ -1,0 +1,68 @@
+"""Shared fixtures: small deterministic graphs, networks and platforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.presets import custom
+from repro.snn.generators import PoissonSource
+from repro.snn.graph import SpikeGraph
+from repro.snn.network import Network
+from repro.snn.neuron import LIFModel
+
+
+@pytest.fixture
+def tiny_graph() -> SpikeGraph:
+    """8 neurons in two obvious communities joined by one weak synapse.
+
+    Neurons 0-3 exchange heavy traffic, neurons 4-7 exchange heavy
+    traffic, and a single light synapse (3 -> 4) bridges them.  The
+    optimal 2-way partition is {0..3} | {4..7} with fitness 5.
+    """
+    src, dst, traffic = [], [], []
+    for a in range(4):
+        for b in range(4):
+            if a != b:
+                src.append(a), dst.append(b), traffic.append(100.0)
+                src.append(a + 4), dst.append(b + 4), traffic.append(100.0)
+    src.append(3), dst.append(4), traffic.append(5.0)
+    spike_times = [np.linspace(0, 90, 10) for _ in range(8)]
+    return SpikeGraph.from_edges(
+        8, src, dst, traffic, spike_times=spike_times, name="two_communities"
+    )
+
+
+@pytest.fixture
+def chain_graph() -> SpikeGraph:
+    """6 neurons in a traffic chain 0->1->...->5, uniform traffic 10."""
+    src = list(range(5))
+    dst = list(range(1, 6))
+    traffic = [10.0] * 5
+    layers = list(range(6))
+    spike_times = [np.arange(0, 100, 10.0) for _ in range(6)]
+    return SpikeGraph.from_edges(
+        6, src, dst, traffic, spike_times=spike_times, layers=layers, name="chain"
+    )
+
+
+@pytest.fixture
+def small_arch():
+    """4 crossbars x 4 neurons, tree interconnect."""
+    return custom(n_crossbars=4, neurons_per_crossbar=4, name="tiny")
+
+
+@pytest.fixture
+def two_cluster_arch():
+    """2 crossbars x 4 neurons — the tiny_graph's natural home."""
+    return custom(n_crossbars=2, neurons_per_crossbar=4, name="pair")
+
+
+@pytest.fixture
+def small_network() -> Network:
+    """10 Poisson sources driving 5 LIF neurons, all-to-all."""
+    net = Network("small")
+    src = net.add_source("in", PoissonSource(10, 40.0), layer=0)
+    out = net.add_population("out", 5, LIFModel(), layer=1)
+    net.connect(src, out, weights=np.full((10, 5), 30.0))
+    return net

@@ -1,0 +1,136 @@
+"""Tests for the baseline partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    AnnealingConfig,
+    annealing_partition,
+    greedy_partition,
+    neutrams_partition,
+    pacman_partition,
+    random_partition,
+)
+from repro.core.fitness import InterconnectFitness
+from repro.core.partition import is_feasible
+from repro.snn.graph import SpikeGraph
+
+ALL_BASELINES = [
+    lambda g, c, cap: pacman_partition(g, c, cap),
+    lambda g, c, cap: neutrams_partition(g, c, cap, seed=0),
+    lambda g, c, cap: random_partition(g, c, cap, seed=0),
+    lambda g, c, cap: greedy_partition(g, c, cap),
+    lambda g, c, cap: annealing_partition(
+        g, c, cap, config=AnnealingConfig(n_steps=500), seed=0
+    ),
+]
+
+
+class TestFeasibilityAll:
+    @pytest.mark.parametrize("baseline", ALL_BASELINES)
+    def test_feasible_on_tiny(self, tiny_graph, baseline):
+        p = baseline(tiny_graph, 2, 4)
+        assert is_feasible(p.assignment, 2, 4)
+
+    @pytest.mark.parametrize("baseline", ALL_BASELINES)
+    def test_feasible_with_slack(self, tiny_graph, baseline):
+        p = baseline(tiny_graph, 4, 3)
+        assert is_feasible(p.assignment, 4, 3)
+
+    @pytest.mark.parametrize("baseline", ALL_BASELINES)
+    def test_impossible_rejected(self, tiny_graph, baseline):
+        with pytest.raises(ValueError):
+            baseline(tiny_graph, 2, 3)
+
+
+class TestPacman:
+    def test_layer_order_packing(self, chain_graph):
+        p = pacman_partition(chain_graph, 3, 2)
+        # Chain layers 0..5 pack pairwise: (0,1), (2,3), (4,5).
+        assert p.assignment.tolist() == [0, 0, 1, 1, 2, 2]
+
+    def test_traffic_blind(self, tiny_graph):
+        """PACMAN ignores traffic: id-order packing splits both communities."""
+        p = pacman_partition(tiny_graph, 2, 4)
+        assert p.assignment.tolist() == [0, 0, 0, 0, 1, 1, 1, 1]
+        # On this graph id order happens to match community structure;
+        # reversing layers must change the packing.
+        g2 = SpikeGraph.from_edges(
+            8, tiny_graph.src, tiny_graph.dst, tiny_graph.traffic,
+            layers=[1, 1, 1, 1, 0, 0, 0, 0],
+        )
+        p2 = pacman_partition(g2, 2, 4)
+        assert p2.assignment.tolist() == [1, 1, 1, 1, 0, 0, 0, 0]
+
+    def test_deterministic(self, tiny_graph):
+        a = pacman_partition(tiny_graph, 2, 4).assignment
+        b = pacman_partition(tiny_graph, 2, 4).assignment
+        assert np.array_equal(a, b)
+
+
+class TestNeutrams:
+    def test_cuts_few_edges_on_communities(self, tiny_graph):
+        p = neutrams_partition(tiny_graph, 2, 4, seed=1)
+        fit = InterconnectFitness(tiny_graph)
+        # KL on the unweighted graph still finds the structural cut here
+        # (the communities are also structurally separate).
+        assert fit.evaluate(p.assignment) == 5.0
+
+    def test_ignores_traffic_weights(self):
+        """Same structure, different traffic -> same partition."""
+        src = [0, 1, 2, 3, 0, 2]
+        dst = [1, 0, 3, 2, 2, 0]
+        g_light = SpikeGraph.from_edges(4, src, dst, [1.0] * 6)
+        g_heavy = SpikeGraph.from_edges(4, src, dst, [99.0] * 6)
+        a = neutrams_partition(g_light, 2, 2, seed=3).assignment
+        b = neutrams_partition(g_heavy, 2, 2, seed=3).assignment
+        assert np.array_equal(a, b)
+
+
+class TestGreedy:
+    def test_hottest_edges_local(self, tiny_graph):
+        p = greedy_partition(tiny_graph, 2, 4)
+        fit = InterconnectFitness(tiny_graph)
+        assert fit.evaluate(p.assignment) == 5.0
+
+    def test_capacity_respected_when_groups_split(self):
+        # A 5-clique of heavy traffic cannot fit capacity 3: greedy must
+        # split it but stay feasible.
+        src, dst, tr = [], [], []
+        for a in range(5):
+            for b in range(5):
+                if a != b:
+                    src.append(a), dst.append(b), tr.append(10.0)
+        g = SpikeGraph.from_edges(5, src, dst, tr)
+        p = greedy_partition(g, 2, 3)
+        assert is_feasible(p.assignment, 2, 3)
+
+
+class TestAnnealing:
+    def test_improves_over_random(self, tiny_graph):
+        fit = InterconnectFitness(tiny_graph)
+        rand = random_partition(tiny_graph, 2, 4, seed=5)
+        annealed = annealing_partition(
+            tiny_graph, 2, 4, config=AnnealingConfig(n_steps=3000), seed=5
+        )
+        assert fit.evaluate(annealed.assignment) <= fit.evaluate(rand.assignment)
+
+    def test_finds_optimum_on_tiny(self, tiny_graph):
+        fit = InterconnectFitness(tiny_graph)
+        p = annealing_partition(
+            tiny_graph, 2, 4, config=AnnealingConfig(n_steps=5000), seed=1
+        )
+        assert fit.evaluate(p.assignment) == 5.0
+
+    def test_bad_config(self):
+        with pytest.raises(ValueError):
+            AnnealingConfig(alpha=1.5)
+        with pytest.raises(ValueError):
+            AnnealingConfig(n_steps=0)
+
+
+class TestRandom:
+    def test_seed_determinism(self, tiny_graph):
+        a = random_partition(tiny_graph, 2, 4, seed=9).assignment
+        b = random_partition(tiny_graph, 2, 4, seed=9).assignment
+        assert np.array_equal(a, b)

@@ -1,0 +1,95 @@
+"""Tests for fitness functions (Eq. 8 and variants)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitness import InterconnectFitness
+from repro.noc.routing import routing_for
+from repro.noc.topology import tree
+from repro.snn.graph import SpikeGraph
+
+
+class TestDefaultFitness:
+    def test_matches_bruteforce(self, tiny_graph):
+        fit = InterconnectFitness(tiny_graph)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            a = rng.integers(0, 2, size=8)
+            brute = sum(
+                t for s, d, t in zip(tiny_graph.src, tiny_graph.dst,
+                                     tiny_graph.traffic)
+                if a[s] != a[d]
+            )
+            assert fit.evaluate(a) == pytest.approx(brute)
+
+    def test_upper_bound(self, tiny_graph):
+        fit = InterconnectFitness(tiny_graph)
+        assert fit.upper_bound == tiny_graph.total_traffic()
+
+    def test_batch_agrees_with_single(self, tiny_graph):
+        fit = InterconnectFitness(tiny_graph)
+        rng = np.random.default_rng(2)
+        batch = rng.integers(0, 2, size=(8, 8))
+        values = fit.evaluate_batch(batch)
+        for row, v in zip(batch, values):
+            assert fit.evaluate(row) == pytest.approx(v)
+
+    def test_perfect_partition_zero(self, tiny_graph):
+        fit = InterconnectFitness(tiny_graph)
+        assert fit.evaluate(np.zeros(8, dtype=int)) == 0.0
+
+
+class TestPacketCountVariant:
+    def test_multicast_counts_once_per_cluster(self):
+        # Neuron 0 (10 spikes) feeds neurons 1 and 2 on the same remote
+        # cluster: per-synapse fitness counts 20, packet fitness counts 10.
+        spike_times = [np.linspace(0, 9, 10), np.empty(0), np.empty(0)]
+        g = SpikeGraph.from_edges(
+            3, [0, 0], [1, 2], [10.0, 10.0], spike_times=spike_times
+        )
+        a = np.array([0, 1, 1])
+        per_synapse = InterconnectFitness(g)
+        per_packet = InterconnectFitness(g, count_packets=True)
+        assert per_synapse.evaluate(a) == 20.0
+        assert per_packet.evaluate(a) == 10.0
+
+    def test_two_remote_clusters_two_packets(self):
+        spike_times = [np.linspace(0, 9, 10), np.empty(0), np.empty(0)]
+        g = SpikeGraph.from_edges(
+            3, [0, 0], [1, 2], [10.0, 10.0], spike_times=spike_times
+        )
+        a = np.array([0, 1, 2])
+        per_packet = InterconnectFitness(g, count_packets=True)
+        assert per_packet.evaluate(a) == 20.0
+
+    def test_all_local_zero(self, tiny_graph):
+        fit = InterconnectFitness(tiny_graph, count_packets=True)
+        assert fit.evaluate(np.zeros(8, dtype=int)) == 0.0
+
+
+class TestHopWeightedVariant:
+    def test_requires_topology(self, tiny_graph):
+        with pytest.raises(ValueError, match="topology"):
+            InterconnectFitness(tiny_graph, hop_weighted=True)
+
+    def test_distance_scales_cost(self, tiny_graph):
+        topo = tree(4, arity=2)  # leaves 0,1 near; 0,3 far
+        routing = routing_for(topo)
+        fit = InterconnectFitness(
+            tiny_graph, hop_weighted=True, topology=topo, routing=routing
+        )
+        near = np.array([0, 0, 0, 0, 1, 1, 1, 1])  # bridge spans 2 hops
+        far = np.array([0, 0, 0, 0, 3, 3, 3, 3])   # bridge spans 4 hops
+        assert fit.evaluate(far) > fit.evaluate(near)
+
+    def test_batch_fallback_matches(self, tiny_graph):
+        topo = tree(4)
+        fit = InterconnectFitness(
+            tiny_graph, hop_weighted=True, topology=topo,
+            routing=routing_for(topo),
+        )
+        batch = np.array([[0, 0, 0, 0, 1, 1, 1, 1],
+                          [0, 0, 0, 0, 3, 3, 3, 3]])
+        values = fit.evaluate_batch(batch)
+        assert values[0] == fit.evaluate(batch[0])
+        assert values[1] == fit.evaluate(batch[1])

@@ -1,0 +1,116 @@
+"""Tests for partition representation and constraint handling."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import (
+    Partition,
+    is_feasible,
+    random_assignment,
+    repair_assignment,
+)
+
+
+class TestPartition:
+    def test_valid_partition(self):
+        p = Partition(assignment=np.array([0, 0, 1, 1]), n_clusters=2,
+                      capacity=2)
+        assert p.n_neurons == 4
+        assert p.cluster_sizes().tolist() == [2, 2]
+
+    def test_capacity_violation_rejected(self):
+        with pytest.raises(ValueError, match="exceed"):
+            Partition(assignment=np.array([0, 0, 0]), n_clusters=2, capacity=2)
+
+    def test_out_of_range_cluster_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            Partition(assignment=np.array([0, 2]), n_clusters=2, capacity=2)
+
+    def test_negative_cluster_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            Partition(assignment=np.array([0, -1]), n_clusters=2, capacity=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Partition(assignment=np.array([], dtype=int), n_clusters=2,
+                      capacity=2)
+
+    def test_one_hot_matches_paper_x(self):
+        p = Partition(assignment=np.array([1, 0]), n_clusters=2, capacity=1)
+        x = p.one_hot()
+        assert x.tolist() == [[0.0, 1.0], [1.0, 0.0]]
+        # Eq. 4: every row sums to one.
+        assert (x.sum(axis=1) == 1).all()
+
+    def test_neurons_of(self):
+        p = Partition(assignment=np.array([0, 1, 0, 1]), n_clusters=2,
+                      capacity=2)
+        assert p.neurons_of(0).tolist() == [0, 2]
+
+    def test_utilization(self):
+        p = Partition(assignment=np.array([0, 1]), n_clusters=2, capacity=2)
+        assert p.utilization() == 0.5
+
+
+class TestIsFeasible:
+    def test_good(self):
+        assert is_feasible(np.array([0, 1, 0]), 2, 2)
+
+    def test_overfull(self):
+        assert not is_feasible(np.array([0, 0, 0]), 2, 2)
+
+    def test_bad_range(self):
+        assert not is_feasible(np.array([0, 5]), 2, 2)
+
+    def test_empty(self):
+        assert not is_feasible(np.array([], dtype=int), 2, 2)
+
+
+class TestRepairAssignment:
+    def test_feasible_untouched(self):
+        a = np.array([0, 1, 0, 1])
+        repaired = repair_assignment(a, 2, 2, rng=0)
+        assert np.array_equal(repaired, a)
+
+    def test_overfull_fixed(self):
+        a = np.array([0, 0, 0, 0])
+        repaired = repair_assignment(a, 2, 2, rng=0)
+        assert is_feasible(repaired, 2, 2)
+
+    def test_input_not_mutated(self):
+        a = np.array([0, 0, 0, 0])
+        repair_assignment(a, 2, 2, rng=0)
+        assert (a == 0).all()
+
+    def test_impossible_raises(self):
+        with pytest.raises(ValueError, match="cannot fit"):
+            repair_assignment(np.zeros(5, dtype=int), 2, 2)
+
+    def test_move_cost_keeps_expensive_neurons(self):
+        # Cluster 0 over capacity by 2; costs make neurons 0,1 cheapest.
+        a = np.zeros(4, dtype=int)
+        cost = np.array([0.0, 1.0, 100.0, 100.0])
+        repaired = repair_assignment(a, 2, 2, rng=0, move_cost=cost)
+        assert repaired[2] == 0 and repaired[3] == 0
+        assert repaired[0] == 1 and repaired[1] == 1
+
+    def test_deterministic_with_seed(self):
+        a = np.zeros(6, dtype=int)
+        r1 = repair_assignment(a, 3, 2, rng=42)
+        r2 = repair_assignment(a, 3, 2, rng=42)
+        assert np.array_equal(r1, r2)
+
+
+class TestRandomAssignment:
+    def test_always_feasible(self):
+        for seed in range(20):
+            a = random_assignment(10, 3, 4, rng=seed)
+            assert is_feasible(a, 3, 4)
+
+    def test_tight_fit(self):
+        a = random_assignment(12, 3, 4, rng=0)
+        assert np.bincount(a, minlength=3).tolist() == [4, 4, 4]
+
+    def test_impossible_raises(self):
+        with pytest.raises(ValueError):
+            random_assignment(13, 3, 4)

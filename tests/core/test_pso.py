@@ -1,0 +1,127 @@
+"""Tests for the binary PSO optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitness import InterconnectFitness
+from repro.core.partition import is_feasible
+from repro.core.pso import BinaryPSO, PSOConfig
+
+
+def _pso(graph, n_clusters=2, capacity=4, **cfg_kwargs):
+    defaults = dict(n_particles=30, n_iterations=30)
+    defaults.update(cfg_kwargs)
+    return BinaryPSO(
+        InterconnectFitness(graph),
+        n_neurons=graph.n_neurons,
+        n_clusters=n_clusters,
+        capacity=capacity,
+        config=PSOConfig(**defaults),
+        seed=7,
+    )
+
+
+class TestOptimization:
+    def test_finds_community_structure(self, tiny_graph):
+        """On the two-community graph PSO must find the bridge cut."""
+        result = _pso(tiny_graph).optimize()
+        assert result.best_fitness == 5.0  # only the weak bridge crosses
+
+    def test_solution_feasible(self, tiny_graph):
+        result = _pso(tiny_graph, n_clusters=3, capacity=3).optimize()
+        assert is_feasible(result.best_assignment, 3, 3)
+
+    def test_history_monotone_nonincreasing(self, tiny_graph):
+        result = _pso(tiny_graph).optimize()
+        assert (np.diff(result.history) <= 0).all()
+
+    def test_history_length(self, tiny_graph):
+        result = _pso(tiny_graph, n_iterations=12).optimize()
+        assert result.n_iterations_run == 12
+        assert result.history.shape == (12,)
+
+    def test_more_particles_no_worse(self, tiny_graph):
+        small = _pso(tiny_graph, n_particles=2, n_iterations=10).optimize()
+        large = _pso(tiny_graph, n_particles=60, n_iterations=10).optimize()
+        assert large.best_fitness <= small.best_fitness
+
+    def test_deterministic_given_seed(self, tiny_graph):
+        r1 = _pso(tiny_graph).optimize()
+        r2 = _pso(tiny_graph).optimize()
+        assert r1.best_fitness == r2.best_fitness
+        assert np.array_equal(r1.best_assignment, r2.best_assignment)
+
+    def test_evaluation_count(self, tiny_graph):
+        result = _pso(tiny_graph, n_particles=10, n_iterations=5).optimize()
+        assert result.n_evaluations == 50
+
+
+class TestWarmStart:
+    def test_initial_assignment_bounds_result(self, tiny_graph):
+        optimal = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        pso = _pso(tiny_graph, n_particles=5, n_iterations=3)
+        result = pso.optimize(initial_assignments=optimal[None, :])
+        assert result.best_fitness <= 5.0
+
+    def test_1d_initial_accepted(self, tiny_graph):
+        pso = _pso(tiny_graph, n_particles=5, n_iterations=3)
+        result = pso.optimize(
+            initial_assignments=np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        )
+        assert result.best_fitness <= 5.0
+
+
+class TestBinarizationModes:
+    @pytest.mark.parametrize("mode", ["stochastic", "argmax"])
+    def test_both_modes_feasible(self, tiny_graph, mode):
+        result = _pso(tiny_graph, binarization=mode).optimize()
+        assert is_feasible(result.best_assignment, 2, 4)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="binarization"):
+            PSOConfig(binarization="quantum")
+
+
+class TestEarlyStop:
+    def test_patience_stops_early(self, tiny_graph):
+        result = _pso(
+            tiny_graph, n_iterations=100, early_stop_patience=3
+        ).optimize()
+        assert result.n_iterations_run < 100
+
+    def test_bad_patience_rejected(self):
+        with pytest.raises(ValueError):
+            PSOConfig(early_stop_patience=0)
+
+
+class TestProblemValidation:
+    def test_impossible_capacity_rejected(self, tiny_graph):
+        with pytest.raises(ValueError, match="cannot fit"):
+            BinaryPSO(
+                InterconnectFitness(tiny_graph),
+                n_neurons=8, n_clusters=2, capacity=3,
+            )
+
+    def test_callable_fitness_accepted(self, tiny_graph):
+        calls = []
+
+        def fitness(batch):
+            calls.append(batch.shape)
+            return np.zeros(batch.shape[0])
+
+        pso = BinaryPSO(fitness, n_neurons=8, n_clusters=2, capacity=4,
+                        config=PSOConfig(n_particles=4, n_iterations=2),
+                        seed=0)
+        pso.optimize()
+        assert calls and all(shape == (4, 8) for shape in calls)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(n_particles=0), dict(n_iterations=0), dict(v_max=0.0),
+         dict(inertia=-0.1)],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            PSOConfig(**kwargs)

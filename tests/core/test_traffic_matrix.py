@@ -1,0 +1,101 @@
+"""Tests for traffic aggregation (Eqs. 6-7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.traffic_matrix import (
+    TrafficMatrix,
+    cluster_traffic,
+    local_global_split,
+    synapse_split_counts,
+)
+from repro.snn.graph import SpikeGraph
+
+
+class TestTrafficMatrix:
+    def test_total(self, tiny_graph):
+        m = TrafficMatrix(tiny_graph)
+        assert m.total == tiny_graph.total_traffic()
+
+    def test_parallel_synapses_merged(self):
+        g = SpikeGraph.from_edges(2, [0, 0], [1, 1], [3.0, 4.0])
+        m = TrafficMatrix(g)
+        assert m.n_pairs == 1
+        assert m.traffic[0] == 7.0
+
+    def test_self_loops_dropped(self):
+        g = SpikeGraph.from_edges(2, [0, 0], [0, 1], [5.0, 2.0])
+        m = TrafficMatrix(g)
+        assert m.n_pairs == 1
+        assert m.total == 2.0
+
+    def test_global_traffic_all_local(self, tiny_graph):
+        m = TrafficMatrix(tiny_graph)
+        assert m.global_traffic(np.zeros(8, dtype=int)) == 0.0
+
+    def test_global_traffic_optimal_cut(self, tiny_graph):
+        m = TrafficMatrix(tiny_graph)
+        a = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        assert m.global_traffic(a) == 5.0  # only the bridge
+
+    def test_local_plus_global_is_total(self, tiny_graph):
+        m = TrafficMatrix(tiny_graph)
+        a = np.array([0, 1, 0, 1, 0, 1, 0, 1])
+        assert m.local_traffic(a) + m.global_traffic(a) == m.total
+
+    def test_batch_matches_scalar(self, tiny_graph):
+        m = TrafficMatrix(tiny_graph)
+        rng = np.random.default_rng(0)
+        batch = rng.integers(0, 3, size=(16, 8))
+        batched = m.global_traffic_batch(batch)
+        scalar = np.array([m.global_traffic(row) for row in batch])
+        assert np.allclose(batched, scalar)
+
+    def test_batch_1d_input(self, tiny_graph):
+        m = TrafficMatrix(tiny_graph)
+        a = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        assert m.global_traffic_batch(a)[0] == 5.0
+
+    def test_batch_wrong_width_rejected(self, tiny_graph):
+        m = TrafficMatrix(tiny_graph)
+        with pytest.raises(ValueError):
+            m.global_traffic_batch(np.zeros((4, 5), dtype=int))
+
+
+class TestClusterTraffic:
+    def test_eq7_matrix(self, tiny_graph):
+        a = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        matrix = cluster_traffic(tiny_graph, a, 2)
+        assert matrix[0, 1] == 5.0   # the bridge 3 -> 4
+        assert matrix[1, 0] == 0.0
+        assert matrix[0, 0] == 0.0   # Eq. 7: zero diagonal
+        assert matrix[1, 1] == 0.0
+
+    def test_matrix_sum_equals_global_traffic(self, tiny_graph):
+        a = np.array([0, 1, 0, 1, 0, 1, 0, 1])
+        matrix = cluster_traffic(tiny_graph, a, 2)
+        m = TrafficMatrix(tiny_graph)
+        assert matrix.sum() == m.global_traffic(a)
+
+    def test_n_clusters_inferred(self, tiny_graph):
+        a = np.array([0, 0, 0, 0, 2, 2, 2, 2])
+        matrix = cluster_traffic(tiny_graph, a)
+        assert matrix.shape == (3, 3)
+
+    def test_wrong_length_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            cluster_traffic(tiny_graph, np.zeros(3, dtype=int))
+
+
+class TestSplits:
+    def test_local_global_split(self, tiny_graph):
+        a = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        local, global_ = local_global_split(tiny_graph, a)
+        assert global_ == 5.0
+        assert local == tiny_graph.total_traffic() - 5.0
+
+    def test_synapse_split_counts(self, tiny_graph):
+        a = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        local, global_ = synapse_split_counts(tiny_graph, a)
+        assert global_ == 1
+        assert local == tiny_graph.n_synapses - 1

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.framework.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_map_defaults(self):
+        args = build_parser().parse_args(["map", "--app", "hello_world"])
+        assert args.method == "pso"
+        assert args.particles == 100
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["map", "--app", "x", "--method", "magic"]
+            )
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "hello_world" in out
+        assert "pso" in out
+
+    def test_map_small(self, capsys):
+        code = main([
+            "map", "--app", "synth_1x20", "--seed", "3",
+            "--duration", "100", "--crossbars", "3", "--capacity", "10",
+            "--particles", "10", "--iterations", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ISI distortion" in out
+
+    def test_compare_small(self, capsys):
+        code = main([
+            "compare", "--app", "synth_1x20", "--seed", "3",
+            "--duration", "100", "--crossbars", "3", "--capacity", "10",
+            "--particles", "10", "--iterations", "5",
+            "--methods", "pacman", "pso",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pacman" in out and "pso" in out
+
+    def test_explore_small(self, capsys):
+        code = main([
+            "explore", "--app", "synth_1x20", "--seed", "3",
+            "--duration", "100", "--sizes", "10", "30",
+            "--particles", "10", "--iterations", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "neurons/xbar" in out
+
+    def test_map_with_arch_config(self, tmp_path, capsys):
+        config = tmp_path / "chip.yaml"
+        config.write_text(
+            "name: test-chip\nn_crossbars: 3\nneurons_per_crossbar: 10\n",
+            encoding="utf-8",
+        )
+        code = main([
+            "map", "--app", "synth_1x20", "--seed", "3",
+            "--duration", "100", "--arch-config", str(config),
+            "--particles", "10", "--iterations", "5",
+        ])
+        assert code == 0
+        assert "test-chip" in capsys.readouterr().out

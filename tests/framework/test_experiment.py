@@ -1,0 +1,44 @@
+"""Tests for experiment records."""
+
+from repro.framework.experiment import (
+    ExperimentRecord,
+    load_records,
+    save_records,
+)
+
+
+class TestExperimentRecord:
+    def test_json_round_trip(self):
+        rec = ExperimentRecord(
+            experiment="fig5", workload="synth_1x200", method="pso",
+            metrics={"energy_pj": 12.5}, parameters={"seed": 3},
+        )
+        clone = ExperimentRecord.from_json(rec.to_json())
+        assert clone == rec
+
+    def test_defaults_empty(self):
+        rec = ExperimentRecord(experiment="t", workload="w", method="m")
+        assert rec.metrics == {} and rec.parameters == {}
+
+
+class TestPersistence:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "results" / "records.jsonl"
+        records = [
+            ExperimentRecord(experiment="fig5", workload="a", method="pso",
+                             metrics={"x": 1.0}),
+            ExperimentRecord(experiment="fig5", workload="b", method="pacman",
+                             metrics={"x": 2.0}),
+        ]
+        save_records(records, path)
+        loaded = load_records(path)
+        assert loaded == records
+
+    def test_append_semantics(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        save_records([ExperimentRecord("e", "w", "m")], path)
+        save_records([ExperimentRecord("e2", "w2", "m2")], path)
+        assert len(load_records(path)) == 2
+
+    def test_missing_file_empty(self, tmp_path):
+        assert load_records(tmp_path / "nope.jsonl") == []

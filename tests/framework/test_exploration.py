@@ -1,0 +1,113 @@
+"""Tests for architecture / swarm exploration sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.core.pso import PSOConfig
+from repro.framework.exploration import (
+    estimate_interconnect_energy_pj,
+    explore_architecture,
+    explore_swarm_size,
+    normalized_energies,
+)
+from repro.hardware.presets import custom
+
+
+class TestExploreArchitecture:
+    def test_sweep_shapes(self, tiny_graph):
+        base = custom(n_crossbars=2, neurons_per_crossbar=4, name="base")
+        points = explore_architecture(
+            tiny_graph, base, crossbar_sizes=[2, 4, 8], method="pacman",
+            seed=0,
+        )
+        assert [p.neurons_per_crossbar for p in points] == [2, 4, 8]
+        assert points[0].n_crossbars == 4
+        assert points[-1].n_crossbars == 1
+
+    def test_single_crossbar_all_local(self, tiny_graph):
+        base = custom(n_crossbars=1, neurons_per_crossbar=8)
+        (point,) = explore_architecture(
+            tiny_graph, base, crossbar_sizes=[8], method="pacman"
+        )
+        assert point.global_energy_uj == 0.0
+        assert point.global_spikes == 0.0
+        assert point.local_energy_uj > 0.0
+
+    def test_global_energy_decreases_with_size(self, tiny_graph):
+        base = custom(n_crossbars=4, neurons_per_crossbar=2)
+        points = explore_architecture(
+            tiny_graph, base, crossbar_sizes=[2, 8], method="pacman"
+        )
+        assert points[0].global_energy_uj > points[-1].global_energy_uj
+
+    def test_totals_consistent(self, tiny_graph):
+        base = custom(n_crossbars=2, neurons_per_crossbar=4)
+        points = explore_architecture(
+            tiny_graph, base, crossbar_sizes=[4], method="pacman"
+        )
+        p = points[0]
+        assert p.total_energy_uj == pytest.approx(
+            p.local_energy_uj + p.global_energy_uj
+        )
+
+
+class TestEstimateEnergy:
+    def test_all_local_zero(self, tiny_graph, two_cluster_arch):
+        a = np.zeros(8, dtype=int)
+        assert estimate_interconnect_energy_pj(
+            tiny_graph, a, two_cluster_arch
+        ) == 0.0
+
+    def test_matches_noc_energy_when_uncongested(self, two_cluster_arch):
+        """Analytic estimate equals simulated energy for delivered traffic.
+
+        Requires a graph whose per-synapse traffic equals its source
+        spike counts (as from_simulation guarantees); multicast is
+        irrelevant here (one destination crossbar), so hops are exactly
+        spikes x distance.
+        """
+        from repro.framework.pipeline import run_pipeline
+        from repro.snn.graph import SpikeGraph
+        spike_times = [np.linspace(0, 90, 10) for _ in range(8)]
+        graph = SpikeGraph.from_edges(
+            8,
+            src=[0, 1, 2, 3, 4, 5, 6, 7],
+            dst=[1, 2, 3, 4, 5, 6, 7, 0],
+            traffic=[10.0] * 8,  # == spike counts, as in real graphs
+            spike_times=spike_times,
+            name="ring",
+        )
+        result = run_pipeline(graph, two_cluster_arch, method="pacman")
+        estimate = estimate_interconnect_energy_pj(
+            graph, result.mapping.assignment, two_cluster_arch
+        )
+        assert estimate == pytest.approx(result.report.global_energy_pj)
+
+    def test_scales_with_distance(self, tiny_graph):
+        near = custom(n_crossbars=2, neurons_per_crossbar=4,
+                      interconnect="star")
+        a = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        e_star = estimate_interconnect_energy_pj(tiny_graph, a, near)
+        far = custom(n_crossbars=2, neurons_per_crossbar=4,
+                     interconnect="tree")
+        e_tree = estimate_interconnect_energy_pj(tiny_graph, a, far)
+        assert e_star == e_tree  # both are 2 hops for 2 crossbars
+
+
+class TestExploreSwarmSize:
+    def test_points_and_normalization(self, tiny_graph, two_cluster_arch):
+        points = explore_swarm_size(
+            tiny_graph, two_cluster_arch, swarm_sizes=[2, 20],
+            n_iterations=10, seed=0,
+        )
+        assert [p.swarm_size for p in points] == [2, 20]
+        norm = normalized_energies(points)
+        assert min(norm) == 1.0
+        assert all(v >= 1.0 for v in norm)
+
+    def test_larger_swarm_no_worse(self, tiny_graph, two_cluster_arch):
+        points = explore_swarm_size(
+            tiny_graph, two_cluster_arch, swarm_sizes=[1, 40],
+            n_iterations=15, seed=1,
+        )
+        assert points[1].global_spikes <= points[0].global_spikes

@@ -1,0 +1,57 @@
+"""Tests for the end-to-end pipeline (paper Fig. 4)."""
+
+import pytest
+
+from repro.core.pso import PSOConfig
+from repro.framework.pipeline import run_pipeline
+from repro.noc.interconnect import NocConfig
+
+
+class TestRunPipeline:
+    def test_all_packets_delivered(self, tiny_graph, two_cluster_arch):
+        result = run_pipeline(tiny_graph, two_cluster_arch, method="random",
+                              seed=0)
+        assert result.noc_stats.undelivered_count == 0
+
+    def test_schedule_matches_mapping(self, tiny_graph, two_cluster_arch):
+        result = run_pipeline(tiny_graph, two_cluster_arch, method="pacman")
+        # Optimal-like pacman split: only neuron 3 (bridge source) sends.
+        assert result.schedule.n_source_neurons == 1
+        assert result.schedule.n_packets == 10  # its 10 spikes
+
+    def test_skip_noc_simulation(self, tiny_graph, two_cluster_arch):
+        result = run_pipeline(tiny_graph, two_cluster_arch, method="pacman",
+                              simulate_noc=False)
+        assert result.noc_stats.delivered_count == 0
+        assert result.report.global_spikes > 0  # mapping metrics intact
+
+    def test_noc_config_respected(self, tiny_graph, two_cluster_arch):
+        result = run_pipeline(
+            tiny_graph, two_cluster_arch, method="random", seed=0,
+            noc_config=NocConfig(multicast=False),
+        )
+        assert result.noc_stats.undelivered_count == 0
+
+    def test_pso_method(self, tiny_graph, two_cluster_arch):
+        result = run_pipeline(
+            tiny_graph, two_cluster_arch, method="pso", seed=0,
+            pso_config=PSOConfig(n_particles=10, n_iterations=10),
+        )
+        assert result.mapping.fitness == 5.0
+
+    def test_describe_renders(self, tiny_graph, two_cluster_arch):
+        result = run_pipeline(tiny_graph, two_cluster_arch, method="pacman")
+        text = result.describe()
+        assert "two_communities" in text
+
+    def test_better_mapping_less_interconnect_traffic(
+        self, tiny_graph, two_cluster_arch
+    ):
+        worst = run_pipeline(tiny_graph, two_cluster_arch, method="random",
+                             seed=3)
+        best = run_pipeline(
+            tiny_graph, two_cluster_arch, method="pso", seed=0,
+            pso_config=PSOConfig(n_particles=20, n_iterations=20),
+        )
+        assert (best.noc_stats.n_injected <= worst.noc_stats.n_injected)
+        assert (best.report.global_energy_pj <= worst.report.global_energy_pj)

@@ -1,0 +1,37 @@
+"""Tests for programmatic paper-artifact reproduction.
+
+These run at minimal effort so CI stays fast; the benchmark harness does
+the full-budget runs.
+"""
+
+import pytest
+
+from repro.framework.reproduce import ARTIFACTS, reproduce
+
+
+class TestReproduceDispatch:
+    def test_unknown_artifact(self):
+        with pytest.raises(KeyError, match="unknown artifact"):
+            reproduce("fig99")
+
+    def test_nonpositive_effort(self):
+        with pytest.raises(ValueError, match="effort"):
+            reproduce("fig5", effort=0.0)
+
+    def test_all_artifacts_registered(self):
+        assert set(ARTIFACTS) == {"fig5", "table2", "fig6", "fig7"}
+
+
+@pytest.mark.slow
+class TestReproduceRuns:
+    """Smoke runs at tiny effort; marked slow (several seconds each)."""
+
+    def test_fig5_rows(self, capsys):
+        rows = reproduce("fig5", effort=0.1)
+        assert len(rows) == 8  # 4 synthetic + 4 realistic
+        assert "Fig. 5" in capsys.readouterr().out
+
+    def test_fig6_rows(self, capsys):
+        rows = reproduce("fig6", effort=0.1)
+        assert [r[0] for r in rows] == [90, 180, 360, 720, 1080, 1440]
+        assert "Fig. 6" in capsys.readouterr().out

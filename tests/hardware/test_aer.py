@@ -1,0 +1,64 @@
+"""Tests for the AER encoder/decoder."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.aer import AEREvent, decode_events, encode_spike_trains
+
+
+class TestIdealChannel:
+    def test_round_trip(self):
+        trains = [np.array([3.0, 0.5]), np.array([1.0]), np.empty(0)]
+        events = encode_spike_trains(trains)
+        decoded = decode_events(events, 3)
+        assert np.array_equal(decoded[0], np.array([0.5, 3.0]))
+        assert np.array_equal(decoded[1], np.array([1.0]))
+        assert decoded[2].size == 0
+
+    def test_events_time_ordered(self):
+        trains = [np.array([5.0, 1.0]), np.array([3.0])]
+        events = encode_spike_trains(trains)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_paper_fig2_example(self):
+        """Four neurons spiking at t = 3, 0, 1, 2 serialize as 1, 2, 3, 0."""
+        trains = [np.array([3.0]), np.array([0.0]), np.array([1.0]),
+                  np.array([2.0])]
+        events = encode_spike_trains(trains)
+        assert [e.address for e in events] == [1, 2, 3, 0]
+
+
+class TestTimeMultiplexing:
+    def test_slot_capacity_delays_surplus(self):
+        # Three simultaneous spikes through a 1-event/slot channel.
+        trains = [np.array([0.0]), np.array([0.0]), np.array([0.0])]
+        events = encode_spike_trains(trains, events_per_slot=1, slot_ms=1.0)
+        depart_times = sorted(e.time for e in events)
+        assert depart_times == [0.0, 1.0, 2.0]
+
+    def test_wide_channel_no_delay(self):
+        trains = [np.array([0.0]), np.array([0.0])]
+        events = encode_spike_trains(trains, events_per_slot=4)
+        assert all(e.time == 0.0 for e in events)
+
+    def test_departure_never_before_spike(self):
+        rng = np.random.default_rng(0)
+        trains = [np.sort(rng.uniform(0, 50, 20)) for _ in range(4)]
+        events = encode_spike_trains(trains, events_per_slot=2)
+        originals = sorted(
+            (t, i) for i, tr in enumerate(trains) for t in tr
+        )
+        departs = sorted((e.time, e.address) for e in events)
+        for (t0, _), (t1, _) in zip(originals, departs):
+            assert t1 >= t0 - 1e-9
+
+
+class TestDecodeValidation:
+    def test_address_out_of_range(self):
+        with pytest.raises(ValueError, match="address"):
+            decode_events([AEREvent(address=5, time=0.0)], 3)
+
+    def test_n_neurons_positive(self):
+        with pytest.raises(ValueError):
+            decode_events([], 0)

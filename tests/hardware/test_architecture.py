@@ -1,0 +1,58 @@
+"""Tests for the architecture description."""
+
+import pytest
+
+from repro.hardware.architecture import Architecture
+
+
+class TestArchitecture:
+    def test_total_capacity(self):
+        arch = Architecture(n_crossbars=4, neurons_per_crossbar=128)
+        assert arch.total_capacity == 512
+
+    def test_fits(self):
+        arch = Architecture(n_crossbars=2, neurons_per_crossbar=10)
+        assert arch.fits(20) and not arch.fits(21)
+
+    def test_require_fits_raises(self):
+        arch = Architecture(n_crossbars=2, neurons_per_crossbar=10, name="t")
+        with pytest.raises(ValueError, match="exceeds"):
+            arch.require_fits(21)
+
+    def test_build_topology_matches_crossbars(self):
+        arch = Architecture(n_crossbars=6, neurons_per_crossbar=8,
+                            interconnect="mesh")
+        topo = arch.build_topology()
+        assert topo.n_attach_points == 6
+        assert topo.kind == "mesh"
+
+    def test_build_crossbars(self):
+        arch = Architecture(n_crossbars=3, neurons_per_crossbar=7)
+        xbars = arch.build_crossbars()
+        assert len(xbars) == 3
+        assert all(x.capacity == 7 for x in xbars)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Architecture(n_crossbars=0, neurons_per_crossbar=8)
+        with pytest.raises(ValueError):
+            Architecture(n_crossbars=2, neurons_per_crossbar=-1)
+
+
+class TestScaledTo:
+    def test_crossbar_count_derived(self):
+        arch = Architecture(n_crossbars=4, neurons_per_crossbar=128)
+        scaled = arch.scaled_to(n_neurons=300, neurons_per_crossbar=100)
+        assert scaled.neurons_per_crossbar == 100
+        assert scaled.n_crossbars == 3
+        assert scaled.fits(300)
+
+    def test_exact_division(self):
+        arch = Architecture(n_crossbars=1, neurons_per_crossbar=1)
+        scaled = arch.scaled_to(n_neurons=200, neurons_per_crossbar=100)
+        assert scaled.n_crossbars == 2
+
+    def test_preserves_interconnect(self):
+        arch = Architecture(n_crossbars=4, neurons_per_crossbar=8,
+                            interconnect="star")
+        assert arch.scaled_to(16, 4).interconnect == "star"

@@ -1,0 +1,96 @@
+"""Tests for the platform config parser / round trip."""
+
+import pytest
+
+from repro.hardware.config import (
+    architecture_from_config,
+    architecture_to_config,
+    load_architecture,
+    parse_config_text,
+    render_config_text,
+    save_architecture,
+)
+from repro.hardware.energy_model import EnergyModel
+from repro.hardware.presets import custom, cxquad
+
+
+class TestParseConfigText:
+    def test_scalars(self):
+        cfg = parse_config_text("name: chip\nn: 4\nrate: 2.5\n")
+        assert cfg == {"name": "chip", "n": 4, "rate": 2.5}
+
+    def test_comments_and_blank_lines(self):
+        cfg = parse_config_text("# header\n\na: 1  # trailing\n")
+        assert cfg == {"a": 1}
+
+    def test_section(self):
+        cfg = parse_config_text("energy:\n  e_router_pj: 9.0\n  e_link_pj: 4.5\n")
+        assert cfg == {"energy": {"e_router_pj": 9.0, "e_link_pj": 4.5}}
+
+    def test_tab_rejected(self):
+        with pytest.raises(ValueError, match="tabs"):
+            parse_config_text("a:\n\tb: 1\n")
+
+    def test_orphan_indent_rejected(self):
+        with pytest.raises(ValueError, match="outside any section"):
+            parse_config_text("  a: 1\n")
+
+    def test_missing_colon_rejected(self):
+        with pytest.raises(ValueError, match="key: value"):
+            parse_config_text("just words\n")
+
+    def test_deep_nesting_rejected(self):
+        with pytest.raises(ValueError, match="deeper"):
+            parse_config_text("a:\n  b:\n")
+
+
+class TestRenderRoundTrip:
+    def test_round_trip(self):
+        cfg = {"name": "x", "n_crossbars": 4,
+               "energy": {"e_router_pj": 9.0}}
+        assert parse_config_text(render_config_text(cfg)) == cfg
+
+
+class TestArchitectureConfig:
+    def test_to_from_round_trip(self):
+        arch = custom(6, 64, interconnect="mesh", cycles_per_ms=5.0,
+                      energy=EnergyModel(e_router_pj=7.5), name="rt")
+        clone = architecture_from_config(architecture_to_config(arch))
+        assert clone == arch
+
+    def test_missing_required_keys(self):
+        with pytest.raises(ValueError, match="missing"):
+            architecture_from_config({"name": "x"})
+
+    def test_defaults_applied(self):
+        arch = architecture_from_config(
+            {"n_crossbars": 2, "neurons_per_crossbar": 8}
+        )
+        assert arch.interconnect == "tree"
+        assert arch.energy == EnergyModel()
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "chip.yaml"
+        save_architecture(cxquad(), path)
+        loaded = load_architecture(path)
+        assert loaded == cxquad()
+
+    def test_hand_written_file(self, tmp_path):
+        path = tmp_path / "hand.yaml"
+        path.write_text(
+            "# CxQuad-ish\n"
+            "name: hand\n"
+            "n_crossbars: 4\n"
+            "neurons_per_crossbar: 128\n"
+            "interconnect: star\n"
+            "energy:\n"
+            "  e_router_pj: 1.0\n"
+            "  e_link_pj: 0.5\n",
+            encoding="utf-8",
+        )
+        arch = load_architecture(path)
+        assert arch.n_crossbars == 4
+        assert arch.interconnect == "star"
+        assert arch.energy.e_router_pj == 1.0
+        # Unspecified coefficients keep their defaults.
+        assert arch.energy.e_encode_pj == EnergyModel().e_encode_pj

@@ -1,0 +1,55 @@
+"""Tests for the crossbar tile model."""
+
+import pytest
+
+from repro.hardware.crossbar import Crossbar
+
+
+class TestPlacement:
+    def test_place_and_query(self):
+        xbar = Crossbar(index=0, capacity=3)
+        xbar.place(5)
+        xbar.place(2)
+        assert xbar.neurons == [2, 5]
+        assert xbar.occupancy == 2
+        assert xbar.free_slots == 1
+        assert xbar.contains(5) and not xbar.contains(9)
+
+    def test_capacity_enforced(self):
+        xbar = Crossbar(index=0, capacity=1)
+        xbar.place(0)
+        with pytest.raises(OverflowError):
+            xbar.place(1)
+
+    def test_duplicate_rejected(self):
+        xbar = Crossbar(index=0, capacity=4)
+        xbar.place(3)
+        with pytest.raises(ValueError, match="already"):
+            xbar.place(3)
+
+    def test_place_all(self):
+        xbar = Crossbar(index=1, capacity=4)
+        xbar.place_all([1, 2, 3])
+        assert xbar.occupancy == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Crossbar(index=0, capacity=0)
+
+
+class TestLocalAccounting:
+    def test_local_synapses(self, tiny_graph):
+        xbar = Crossbar(index=0, capacity=4)
+        xbar.place_all([0, 1, 2, 3])
+        # 12 directed heavy edges within {0..3}; the bridge 3->4 is not local.
+        assert xbar.local_synapses(tiny_graph) == 12
+
+    def test_local_spike_events(self, tiny_graph):
+        xbar = Crossbar(index=0, capacity=4)
+        xbar.place_all([0, 1, 2, 3])
+        assert xbar.local_spike_events(tiny_graph) == 12 * 100.0
+
+    def test_empty_crossbar_zero(self, tiny_graph):
+        xbar = Crossbar(index=0, capacity=4)
+        assert xbar.local_synapses(tiny_graph) == 0
+        assert xbar.local_spike_events(tiny_graph) == 0.0

@@ -1,0 +1,45 @@
+"""Tests for platform presets."""
+
+from repro.hardware.presets import architecture_for, custom, cxquad, truenorth_like
+
+
+class TestCxQuad:
+    def test_paper_dimensions(self):
+        arch = cxquad()
+        assert arch.n_crossbars == 4
+        assert arch.neurons_per_crossbar == 256
+        assert arch.total_capacity == 1024
+        assert arch.interconnect == "tree"
+
+    def test_energy_reference_is_128(self):
+        assert cxquad().energy.reference_crossbar_size == 128
+
+
+class TestTrueNorthLike:
+    def test_mesh_interconnect(self):
+        arch = truenorth_like(n_crossbars=16)
+        assert arch.interconnect == "mesh"
+        assert arch.build_topology().kind == "mesh"
+
+
+class TestCustom:
+    def test_free_form(self):
+        arch = custom(3, 50, interconnect="star", name="x")
+        assert arch.n_crossbars == 3
+        assert arch.neurons_per_crossbar == 50
+        assert arch.name == "x"
+
+
+class TestArchitectureFor:
+    def test_fits_network(self):
+        arch = architecture_for(1000, neurons_per_crossbar=256)
+        assert arch.fits(1000)
+        assert arch.n_crossbars == 4
+
+    def test_exact_fit(self):
+        arch = architecture_for(512, neurons_per_crossbar=256)
+        assert arch.n_crossbars == 2
+
+    def test_single_crossbar_min(self):
+        arch = architecture_for(5, neurons_per_crossbar=256)
+        assert arch.n_crossbars == 1

@@ -1,0 +1,120 @@
+"""Integration tests: the whole Fig. 4 flow on real applications.
+
+These run the actual SNN simulations (short durations), the partitioners
+and the cycle-accurate NoC — the same code path the benchmarks use, with
+assertions on the paper's qualitative claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import build_application
+from repro.core import PSOConfig, compare_methods
+from repro.framework import run_pipeline
+from repro.hardware.presets import custom
+
+FAST_PSO = PSOConfig(n_particles=40, n_iterations=30)
+
+
+@pytest.fixture(scope="module")
+def hello_graph():
+    return build_application("hello_world", seed=11, duration_ms=400.0)
+
+
+@pytest.fixture(scope="module")
+def synth_graph():
+    return build_application("synth_2x40", seed=11, duration_ms=400.0)
+
+
+class TestHelloWorldEndToEnd:
+    def test_pso_beats_traffic_blind_baselines(self, hello_graph):
+        arch = custom(n_crossbars=4, neurons_per_crossbar=40)
+        results = compare_methods(
+            hello_graph, arch, methods=("neutrams", "pacman", "pso"),
+            seed=2, pso_config=FAST_PSO,
+        )
+        assert results["pso"].fitness <= results["pacman"].fitness
+        assert results["pso"].fitness <= results["neutrams"].fitness
+
+    def test_noc_simulation_delivers_everything(self, hello_graph):
+        arch = custom(n_crossbars=4, neurons_per_crossbar=40)
+        result = run_pipeline(hello_graph, arch, method="pso", seed=2,
+                              pso_config=FAST_PSO)
+        assert result.noc_stats.undelivered_count == 0
+        assert result.report.max_latency_cycles > 0
+
+    def test_less_traffic_means_less_energy_and_latency(self, hello_graph):
+        arch = custom(n_crossbars=4, neurons_per_crossbar=40)
+        pso = run_pipeline(hello_graph, arch, method="pso", seed=2,
+                           pso_config=FAST_PSO)
+        rnd = run_pipeline(hello_graph, arch, method="random", seed=2)
+        assert pso.report.global_energy_pj < rnd.report.global_energy_pj
+        assert (pso.report.max_latency_cycles
+                <= rnd.report.max_latency_cycles)
+
+
+class TestSyntheticEndToEnd:
+    def test_all_methods_feasible_and_measured(self, synth_graph):
+        arch = custom(n_crossbars=4, neurons_per_crossbar=32)
+        for method in ("random", "neutrams", "pacman", "greedy"):
+            result = run_pipeline(synth_graph, arch, method=method, seed=0)
+            assert result.noc_stats.undelivered_count == 0
+
+    def test_interconnect_family_changes_latency_not_delivery(
+        self, synth_graph
+    ):
+        for interconnect in ("tree", "mesh", "star"):
+            arch = custom(n_crossbars=4, neurons_per_crossbar=32,
+                          interconnect=interconnect)
+            result = run_pipeline(synth_graph, arch, method="pacman")
+            assert result.noc_stats.undelivered_count == 0
+
+
+class TestTemporalCodingEndToEnd:
+    def test_heartbeat_pipeline(self):
+        graph = build_application("heartbeat", seed=5, duration_ms=2000.0)
+        arch = custom(n_crossbars=4, neurons_per_crossbar=32)
+        result = run_pipeline(graph, arch, method="pso", seed=1,
+                              pso_config=FAST_PSO)
+        assert result.noc_stats.undelivered_count == 0
+        assert result.graph.coding == "temporal"
+
+    def test_pso_reduces_isi_distortion_vs_random(self):
+        graph = build_application("heartbeat", seed=5, duration_ms=2500.0)
+        arch = custom(n_crossbars=8, neurons_per_crossbar=16,
+                      cycles_per_ms=5.0)
+        pso = run_pipeline(graph, arch, method="pso", seed=1,
+                           pso_config=FAST_PSO)
+        rnd = run_pipeline(graph, arch, method="random", seed=1)
+        assert (pso.report.isi_distortion_cycles
+                <= rnd.report.isi_distortion_cycles)
+
+
+class TestArchitectureScalingEndToEnd:
+    def test_bigger_crossbars_less_global_traffic(self, hello_graph):
+        small = custom(n_crossbars=8, neurons_per_crossbar=16)
+        large = custom(n_crossbars=2, neurons_per_crossbar=64)
+        r_small = run_pipeline(hello_graph, small, method="pso", seed=0,
+                               pso_config=FAST_PSO)
+        r_large = run_pipeline(hello_graph, large, method="pso", seed=0,
+                               pso_config=FAST_PSO)
+        assert r_large.report.global_spikes <= r_small.report.global_spikes
+
+    def test_single_crossbar_trivial(self, hello_graph):
+        arch = custom(n_crossbars=1, neurons_per_crossbar=256)
+        result = run_pipeline(hello_graph, arch, method="pso", seed=0,
+                              pso_config=PSOConfig(n_particles=4,
+                                                   n_iterations=2))
+        assert result.report.global_spikes == 0.0
+        assert result.noc_stats.n_injected == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self, synth_graph):
+        arch = custom(n_crossbars=4, neurons_per_crossbar=32)
+        a = run_pipeline(synth_graph, arch, method="pso", seed=9,
+                         pso_config=FAST_PSO)
+        b = run_pipeline(synth_graph, arch, method="pso", seed=9,
+                         pso_config=FAST_PSO)
+        assert a.report.to_dict() == b.report.to_dict()
+        assert np.array_equal(a.mapping.assignment, b.mapping.assignment)

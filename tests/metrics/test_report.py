@@ -1,0 +1,54 @@
+"""Tests for metric report assembly."""
+
+import pytest
+
+from repro.core.mapper import map_snn
+from repro.framework.pipeline import run_pipeline
+from repro.metrics.report import build_report
+from repro.noc.stats import NocStats
+
+
+class TestBuildReport:
+    def test_full_pipeline_report(self, tiny_graph, two_cluster_arch):
+        result = run_pipeline(tiny_graph, two_cluster_arch, method="pacman")
+        report = result.report
+        assert report.app == "two_communities"
+        assert report.method == "pacman"
+        assert report.total_energy_pj == (
+            report.local_energy_pj + report.global_energy_pj
+        )
+        assert report.disorder_percent == report.disorder_fraction * 100.0
+
+    def test_empty_noc_stats(self, tiny_graph, two_cluster_arch):
+        mapping = map_snn(tiny_graph, two_cluster_arch, method="pacman")
+        report = build_report("app", mapping, NocStats(), two_cluster_arch)
+        assert report.isi_distortion_cycles == 0.0
+        assert report.max_latency_cycles == 0
+        assert report.global_energy_pj == 0.0
+        # Local energy still accounted from the mapping itself.
+        assert report.local_energy_pj > 0.0
+
+    def test_to_dict_keys(self, tiny_graph, two_cluster_arch):
+        result = run_pipeline(tiny_graph, two_cluster_arch, method="pacman")
+        d = result.report.to_dict()
+        for key in ("isi_distortion_cycles", "disorder_percent",
+                    "throughput_aer_per_ms", "max_latency_cycles",
+                    "total_energy_pj"):
+            assert key in d
+
+    def test_table_renders(self, tiny_graph, two_cluster_arch):
+        result = run_pipeline(tiny_graph, two_cluster_arch, method="pacman")
+        table = result.report.table()
+        assert "ISI distortion" in table
+        assert "Latency" in table
+
+    def test_local_energy_scales_with_crossbar_size(self, tiny_graph):
+        from repro.hardware.presets import custom
+        small = custom(n_crossbars=2, neurons_per_crossbar=4)
+        big = custom(n_crossbars=2, neurons_per_crossbar=8)
+        r_small = run_pipeline(tiny_graph, small, method="pacman")
+        r_big = run_pipeline(tiny_graph, big, method="pacman")
+        # Same split (pacman id-order is identical), bigger wordline
+        # costs more per local event.
+        assert (r_big.report.local_energy_pj
+                > r_small.report.local_energy_pj)

@@ -1,0 +1,113 @@
+"""Tests for adaptive west-first routing and selection strategies."""
+
+import itertools
+
+import pytest
+
+from repro.noc.interconnect import Interconnect, NocConfig
+from repro.noc.packet import Injection
+from repro.noc.routing import west_first_routing, xy_routing
+from repro.noc.topology import mesh, tree
+
+
+class TestWestFirstCandidates:
+    def test_west_destination_forces_west(self):
+        topo = mesh(3, 3)
+        routing = west_first_routing(topo)
+        # From (2,2)=8 to (0,0)=0: must move west first.
+        cands = routing.candidates(8, 0)
+        assert cands == [7]  # (1,2)
+
+    def test_east_and_vertical_are_adaptive(self):
+        topo = mesh(3, 3)
+        routing = west_first_routing(topo)
+        # From (0,0)=0 to (2,2)=8: east and north both admissible.
+        cands = set(routing.candidates(0, 8))
+        assert cands == {1, 3}
+
+    def test_aligned_destination_single_candidate(self):
+        topo = mesh(3, 3)
+        routing = west_first_routing(topo)
+        assert routing.candidates(0, 2) == [1]   # same row, east
+        assert routing.candidates(0, 6) == [3]   # same column, north
+
+    def test_every_candidate_reduces_distance(self):
+        topo = mesh(4, 3)
+        routing = west_first_routing(topo)
+        for here, dst in itertools.permutations(topo.graph.nodes, 2):
+            d = routing.distance(here, dst)
+            for nxt in routing.candidates(here, dst):
+                assert routing.distance(nxt, dst) == d - 1
+
+    def test_all_pairs_deliverable_by_any_choice(self):
+        """Following *any* candidate sequence reaches the destination in
+        exactly the Manhattan distance."""
+        topo = mesh(3, 3)
+        routing = west_first_routing(topo)
+        for src, dst in itertools.permutations(topo.graph.nodes, 2):
+            here, hops = src, 0
+            while here != dst:
+                here = max(routing.candidates(here, dst))  # adversarial pick
+                hops += 1
+                assert hops <= routing.distance(src, dst)
+            assert hops == routing.distance(src, dst)
+
+    def test_requires_positions(self):
+        with pytest.raises(ValueError, match="positions"):
+            west_first_routing(tree(4))
+
+    def test_distance_is_manhattan(self):
+        topo = mesh(4, 4)
+        routing = west_first_routing(topo)
+        assert routing.distance(0, 15) == 6
+
+
+class TestAdaptiveSimulation:
+    def _traffic(self, topo):
+        nodes = list(topo.graph.nodes)
+        return [
+            Injection(cycle=c, src_node=nodes[0],
+                      dst_nodes=(nodes[-1],), src_neuron=0, uid=c)
+            for c in range(20)
+        ] + [
+            Injection(cycle=c, src_node=nodes[1],
+                      dst_nodes=(nodes[-1],), src_neuron=1, uid=100 + c)
+            for c in range(20)
+        ]
+
+    @pytest.mark.parametrize("selection", ["bufferlevel", "first"])
+    def test_delivers_all(self, selection):
+        topo = mesh(3, 3)
+        ic = Interconnect(topo, routing=west_first_routing(topo),
+                          config=NocConfig(selection=selection))
+        stats = ic.simulate(self._traffic(topo))
+        assert stats.undelivered_count == 0
+
+    def test_adaptive_spreads_load_vs_xy(self):
+        """Under congestion, bufferlevel selection uses more distinct
+        links than deterministic XY."""
+        topo = mesh(3, 3)
+        injections = self._traffic(topo)
+        xy_stats = Interconnect(topo, routing=xy_routing(topo)).simulate(
+            injections
+        )
+        topo2 = mesh(3, 3)
+        ad_stats = Interconnect(
+            topo2, routing=west_first_routing(topo2),
+            config=NocConfig(selection="bufferlevel"),
+        ).simulate(injections)
+        assert ad_stats.undelivered_count == 0
+        assert len(ad_stats.link_loads) >= len(xy_stats.link_loads)
+
+    def test_latency_still_bounded_below_by_distance(self):
+        topo = mesh(3, 3)
+        routing = west_first_routing(topo)
+        ic = Interconnect(topo, routing=routing)
+        stats = ic.simulate(self._traffic(topo))
+        for rec in stats.deliveries:
+            assert (rec.delivered_cycle - rec.injected_cycle
+                    >= routing.distance(rec.src_node, rec.dst_node))
+
+    def test_unknown_selection_rejected(self):
+        with pytest.raises(ValueError, match="selection"):
+            NocConfig(selection="coin-flip")

@@ -1,0 +1,64 @@
+"""Tests for channel buffers."""
+
+import pytest
+
+from repro.noc.buffer import ChannelBuffer
+from repro.noc.packet import SpikePacket
+
+
+def _pkt(uid: int) -> SpikePacket:
+    return SpikePacket(uid=uid, src_neuron=0, src_node=0,
+                       dst_nodes=frozenset([1]), injected_cycle=0)
+
+
+class TestChannelBuffer:
+    def test_fifo_order(self):
+        buf = ChannelBuffer(capacity=4)
+        for i in range(3):
+            buf.push(_pkt(i))
+        assert [buf.pop().uid for _ in range(3)] == [0, 1, 2]
+
+    def test_capacity_enforced(self):
+        buf = ChannelBuffer(capacity=2)
+        buf.push(_pkt(0))
+        buf.push(_pkt(1))
+        assert not buf.has_space()
+        with pytest.raises(OverflowError):
+            buf.push(_pkt(2))
+
+    def test_has_space_with_staged_extra(self):
+        buf = ChannelBuffer(capacity=3)
+        buf.push(_pkt(0))
+        assert buf.has_space(extra=1)
+        assert not buf.has_space(extra=2)
+
+    def test_unbounded(self):
+        buf = ChannelBuffer(capacity=None)
+        for i in range(1000):
+            buf.push(_pkt(i))
+        assert len(buf) == 1000
+
+    def test_peak_tracks_high_water(self):
+        buf = ChannelBuffer(capacity=5)
+        for i in range(4):
+            buf.push(_pkt(i))
+        for _ in range(4):
+            buf.pop()
+        assert buf.peak == 4
+
+    def test_replace_head_keeps_order(self):
+        buf = ChannelBuffer(capacity=8)
+        buf.push(_pkt(0))
+        buf.push(_pkt(9))
+        buf.replace_head([_pkt(100), _pkt(101)])
+        assert [buf.pop().uid for _ in range(3)] == [100, 101, 9]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ChannelBuffer(capacity=0)
+
+    def test_bool_and_head(self):
+        buf = ChannelBuffer()
+        assert not buf
+        buf.push(_pkt(7))
+        assert buf and buf.head().uid == 7

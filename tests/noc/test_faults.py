@@ -1,0 +1,95 @@
+"""Tests for link-fault injection and rerouting."""
+
+import pytest
+
+from repro.noc.faults import (
+    degrade_topology,
+    inject_random_faults,
+    survivable_links,
+)
+from repro.noc.interconnect import Interconnect
+from repro.noc.packet import Injection
+from repro.noc.routing import routing_for
+from repro.noc.topology import mesh, torus, tree
+
+
+class TestDegradeTopology:
+    def test_removes_link(self):
+        topo = mesh(3)
+        degraded = degrade_topology(topo, [(0, 1)])
+        assert not degraded.graph.has_edge(0, 1)
+        assert "degraded" in degraded.kind
+
+    def test_original_untouched(self):
+        topo = mesh(3)
+        degrade_topology(topo, [(0, 1)])
+        assert topo.graph.has_edge(0, 1)
+
+    def test_missing_link_rejected(self):
+        with pytest.raises(ValueError, match="does not exist"):
+            degrade_topology(mesh(3), [(0, 8)])
+
+    def test_disconnecting_fault_rejected(self):
+        topo = tree(4)  # every tree link is a bridge
+        link = next(iter(topo.graph.edges))
+        with pytest.raises(ValueError, match="disconnects"):
+            degrade_topology(topo, [link])
+
+
+class TestSurvivableLinks:
+    def test_tree_has_none(self):
+        assert survivable_links(tree(8)) == []
+
+    def test_mesh_has_some(self):
+        assert len(survivable_links(mesh(3))) > 0
+
+    def test_torus_all_survivable(self):
+        topo = torus(3)
+        assert len(survivable_links(topo)) == topo.graph.number_of_edges()
+
+
+class TestInjectRandomFaults:
+    def test_requested_count(self):
+        degraded, chosen = inject_random_faults(mesh(4), 3, seed=0)
+        assert len(chosen) == 3
+        assert (degraded.graph.number_of_edges()
+                == mesh(4).graph.number_of_edges() - 3)
+
+    def test_deterministic(self):
+        _, a = inject_random_faults(mesh(4), 2, seed=5)
+        _, b = inject_random_faults(mesh(4), 2, seed=5)
+        assert a == b
+
+    def test_tree_cannot_absorb_faults(self):
+        with pytest.raises(ValueError, match="cannot survive"):
+            inject_random_faults(tree(4), 1, seed=0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            inject_random_faults(mesh(3), -1)
+
+
+class TestReroutedTraffic:
+    def test_traffic_survives_fault(self):
+        """All packets still deliver after a fault, with >= latency."""
+        topo = mesh(3)
+        injections = [
+            Injection(cycle=c, src_node=0, dst_nodes=(8,), src_neuron=0,
+                      uid=c)
+            for c in range(10)
+        ]
+        healthy = Interconnect(topo).simulate(injections)
+
+        degraded, _ = inject_random_faults(topo, 2, seed=1)
+        # Shortest-path routing adapts to the degraded graph.
+        rerouted = Interconnect(
+            degraded, routing=routing_for_degraded(degraded)
+        ).simulate(injections)
+        assert rerouted.undelivered_count == 0
+        assert rerouted.mean_latency() >= healthy.mean_latency()
+
+
+def routing_for_degraded(topology):
+    """Degraded meshes lose grid regularity: force shortest-path routing."""
+    from repro.noc.routing import shortest_path_routing
+    return shortest_path_routing(topology)

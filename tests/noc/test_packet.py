@@ -1,0 +1,40 @@
+"""Tests for AER spike packets."""
+
+import pytest
+
+from repro.noc.packet import Injection, SpikePacket
+
+
+class TestSpikePacket:
+    def test_requires_destinations(self):
+        with pytest.raises(ValueError, match="no destinations"):
+            SpikePacket(uid=0, src_neuron=1, src_node=0,
+                        dst_nodes=frozenset(), injected_cycle=0)
+
+    def test_rejects_negative_injection(self):
+        with pytest.raises(ValueError, match="negative"):
+            SpikePacket(uid=0, src_neuron=1, src_node=0,
+                        dst_nodes=frozenset([1]), injected_cycle=-1)
+
+    def test_fork_subset(self):
+        pkt = SpikePacket(uid=3, src_neuron=7, src_node=0,
+                          dst_nodes=frozenset([1, 2, 3]), injected_cycle=5,
+                          hops=2)
+        child = pkt.fork(frozenset([1, 2]))
+        assert child.uid == 3
+        assert child.hops == 2
+        assert child.injected_cycle == 5
+        assert child.dst_nodes == frozenset([1, 2])
+
+    def test_fork_outside_subset_rejected(self):
+        pkt = SpikePacket(uid=0, src_neuron=0, src_node=0,
+                          dst_nodes=frozenset([1]), injected_cycle=0)
+        with pytest.raises(ValueError, match="within"):
+            pkt.fork(frozenset([9]))
+
+
+class TestInjection:
+    def test_fields(self):
+        inj = Injection(cycle=10, src_node=0, dst_nodes=(1, 2), src_neuron=4)
+        assert inj.uid == -1  # auto-assign sentinel
+        assert inj.dst_nodes == (1, 2)

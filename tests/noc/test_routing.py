@@ -1,0 +1,93 @@
+"""Tests for routing tables."""
+
+import pytest
+
+from repro.noc.routing import routing_for, shortest_path_routing, xy_routing
+from repro.noc.topology import mesh, star, tree
+
+
+def _walk(routing, topo, src, dst):
+    """Follow next hops from src to dst, returning the path."""
+    path = [src]
+    here = src
+    for _ in range(topo.n_routers + 1):
+        if here == dst:
+            return path
+        here = routing.next_hop(here, dst)
+        path.append(here)
+    raise AssertionError(f"routing loop from {src} to {dst}: {path}")
+
+
+class TestShortestPathRouting:
+    @pytest.mark.parametrize("topo_fn", [lambda: tree(8), lambda: star(5),
+                                         lambda: mesh(3)])
+    def test_all_pairs_reach(self, topo_fn):
+        topo = topo_fn()
+        routing = shortest_path_routing(topo)
+        nodes = list(topo.graph.nodes)
+        for s in nodes:
+            for d in nodes:
+                if s != d:
+                    path = _walk(routing, topo, s, d)
+                    assert path[-1] == d
+                    assert len(path) - 1 == routing.distance(s, d)
+
+    def test_distance_zero_to_self(self):
+        routing = shortest_path_routing(tree(4))
+        assert routing.distance(0, 0) == 0
+
+    def test_next_hop_to_self_rejected(self):
+        routing = shortest_path_routing(tree(4))
+        with pytest.raises(ValueError):
+            routing.next_hop(2, 2)
+
+    def test_tree_path_through_root(self):
+        topo = tree(4, arity=2)  # leaves 0-3, parents 4,5, root 6
+        routing = shortest_path_routing(topo)
+        path = _walk(routing, topo, 0, 3)
+        assert path == [0, 4, 6, 5, 3]
+
+    def test_deterministic(self):
+        topo = mesh(3)
+        r1 = shortest_path_routing(topo)
+        r2 = shortest_path_routing(topo)
+        for s in topo.graph.nodes:
+            for d in topo.graph.nodes:
+                if s != d:
+                    assert r1.next_hop(s, d) == r2.next_hop(s, d)
+
+
+class TestXYRouting:
+    def test_x_first(self):
+        topo = mesh(3, 3)
+        routing = xy_routing(topo)
+        # From (0,0)=0 to (2,2)=8: X first -> 1, 2 then Y -> 5, 8.
+        path = _walk(routing, topo, 0, 8)
+        assert path == [0, 1, 2, 5, 8]
+
+    def test_distance_is_manhattan(self):
+        topo = mesh(4, 4)
+        routing = xy_routing(topo)
+        assert routing.distance(0, 15) == 6  # (0,0) -> (3,3)
+
+    def test_matches_hop_count(self):
+        topo = mesh(3, 2)
+        routing = xy_routing(topo)
+        for s in topo.graph.nodes:
+            for d in topo.graph.nodes:
+                if s != d:
+                    path = _walk(routing, topo, s, d)
+                    assert len(path) - 1 == routing.distance(s, d)
+
+    def test_requires_positions(self):
+        topo = tree(4)
+        with pytest.raises(ValueError, match="positions"):
+            xy_routing(topo)
+
+
+class TestRoutingFor:
+    def test_mesh_gets_xy(self):
+        assert routing_for(mesh(3)).name == "xy/mesh"
+
+    def test_tree_gets_shortest_path(self):
+        assert "shortest-path" in routing_for(tree(4)).name

@@ -1,0 +1,125 @@
+"""Tests for topology builders."""
+
+import networkx as nx
+import pytest
+
+from repro.noc.topology import (
+    Topology,
+    build_topology,
+    mesh,
+    mesh_for,
+    star,
+    torus,
+    tree,
+)
+
+
+class TestMesh:
+    def test_dimensions(self):
+        topo = mesh(3, 4)
+        assert topo.n_routers == 12
+        assert topo.graph.number_of_edges() == 3 * 3 + 2 * 4  # 17
+
+    def test_square_default(self):
+        assert mesh(3).n_routers == 9
+
+    def test_positions_cover_grid(self):
+        topo = mesh(2, 2)
+        assert set(topo.positions.values()) == {(0, 0), (1, 0), (0, 1), (1, 1)}
+
+    def test_every_router_is_attach_point(self):
+        topo = mesh(2, 3)
+        assert topo.attach_points == list(range(6))
+
+    def test_single_node(self):
+        topo = mesh(1, 1)
+        assert topo.n_routers == 1
+
+
+class TestTree:
+    @pytest.mark.parametrize("n_leaves", [1, 2, 3, 4, 5, 8, 13])
+    def test_leaves_are_attach_points(self, n_leaves):
+        topo = tree(n_leaves)
+        assert topo.n_attach_points == n_leaves
+        assert nx.is_connected(topo.graph)
+
+    def test_binary_tree_structure(self):
+        topo = tree(4, arity=2)
+        # 4 leaves + 2 mid + 1 root = 7 routers.
+        assert topo.n_routers == 7
+
+    def test_quad_tree_flatter(self):
+        topo = tree(4, arity=4)
+        assert topo.n_routers == 5  # 4 leaves + 1 root
+
+    def test_leaves_have_degree_one(self):
+        topo = tree(8, arity=2)
+        for leaf in topo.attach_points:
+            assert topo.graph.degree(leaf) == 1
+
+    def test_arity_one_rejected(self):
+        with pytest.raises(ValueError):
+            tree(4, arity=1)
+
+
+class TestStar:
+    def test_structure(self):
+        topo = star(5)
+        assert topo.n_routers == 6
+        hub = 5
+        assert topo.graph.degree(hub) == 5
+
+    def test_diameter_two(self):
+        assert star(4).diameter() == 2
+
+
+class TestTorus:
+    def test_wraparound_links(self):
+        topo = torus(3, 3)
+        assert topo.graph.has_edge(0, 2)      # row wrap
+        assert topo.graph.has_edge(0, 6)      # column wrap
+
+    def test_smaller_diameter_than_mesh(self):
+        assert torus(4).diameter() < mesh(4).diameter()
+
+
+class TestMeshFor:
+    @pytest.mark.parametrize("n", [1, 2, 5, 9, 10, 17])
+    def test_covers_crossbars(self, n):
+        topo = mesh_for(n)
+        assert topo.n_attach_points == n
+        assert topo.n_routers >= n
+
+
+class TestBuildTopology:
+    @pytest.mark.parametrize("kind", ["tree", "mesh", "star", "torus"])
+    def test_families(self, kind):
+        topo = build_topology(kind, 6)
+        assert topo.n_attach_points == 6
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown"):
+            build_topology("hypercube", 4)
+
+
+class TestTopologyValidation:
+    def test_attach_point_must_exist(self):
+        g = nx.path_graph(3)
+        with pytest.raises(ValueError, match="not routers"):
+            Topology(graph=g, attach_points=[0, 7], kind="test")
+
+    def test_attach_points_distinct(self):
+        g = nx.path_graph(3)
+        with pytest.raises(ValueError, match="distinct"):
+            Topology(graph=g, attach_points=[0, 0], kind="test")
+
+    def test_disconnected_rejected(self):
+        g = nx.Graph()
+        g.add_edges_from([(0, 1), (2, 3)])
+        with pytest.raises(ValueError, match="connected"):
+            Topology(graph=g, attach_points=[0], kind="test")
+
+    def test_node_of_crossbar_bounds(self):
+        topo = tree(3)
+        with pytest.raises(IndexError):
+            topo.node_of_crossbar(3)

@@ -1,0 +1,67 @@
+"""Property-based tests on partition invariants (paper Eqs. 4-5)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import (
+    is_feasible,
+    random_assignment,
+    repair_assignment,
+)
+
+# Problem dimensions where neurons always fit: capacity * clusters >= n.
+problem_dims = st.tuples(
+    st.integers(min_value=1, max_value=60),   # neurons
+    st.integers(min_value=1, max_value=8),    # clusters
+).flatmap(
+    lambda t: st.tuples(
+        st.just(t[0]),
+        st.just(t[1]),
+        st.integers(min_value=-(-t[0] // t[1]), max_value=t[0] + 4),  # capacity
+    )
+)
+
+
+@given(problem_dims, st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_repair_always_feasible(dims, seed):
+    """Repair must produce a feasible assignment from any raw assignment."""
+    n, c, cap = dims
+    rng = np.random.default_rng(seed)
+    raw = rng.integers(0, c, size=n)
+    repaired = repair_assignment(raw, c, cap, rng=seed)
+    assert is_feasible(repaired, c, cap)
+
+
+@given(problem_dims, st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_repair_is_identity_on_feasible(dims, seed):
+    """A feasible assignment passes through repair unchanged."""
+    n, c, cap = dims
+    feasible = random_assignment(n, c, cap, rng=seed)
+    repaired = repair_assignment(feasible, c, cap, rng=seed + 1)
+    assert np.array_equal(repaired, feasible)
+
+
+@given(problem_dims, st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_repair_only_moves_from_overfull(dims, seed):
+    """Neurons in non-overfull clusters keep their placement."""
+    n, c, cap = dims
+    rng = np.random.default_rng(seed)
+    raw = rng.integers(0, c, size=n)
+    sizes = np.bincount(raw, minlength=c)
+    repaired = repair_assignment(raw, c, cap, rng=seed)
+    moved = raw != repaired
+    for neuron in np.nonzero(moved)[0]:
+        assert sizes[raw[neuron]] > cap
+
+
+@given(problem_dims, st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_random_assignment_feasible(dims, seed):
+    n, c, cap = dims
+    a = random_assignment(n, c, cap, rng=seed)
+    assert is_feasible(a, c, cap)
+    assert a.shape == (n,)

@@ -1,0 +1,83 @@
+"""Tests for the adaptive-threshold LIF model."""
+
+import numpy as np
+import pytest
+
+from repro.snn.neuron import AdaptiveLIFModel, LIFModel
+
+
+class TestAdaptiveLIF:
+    def test_silent_at_rest(self):
+        model = AdaptiveLIFModel()
+        state = model.allocate_state(3)
+        for _ in range(200):
+            assert not model.step(state, np.zeros(3), dt=1.0).any()
+
+    def test_threshold_grows_with_spikes(self):
+        model = AdaptiveLIFModel(theta_plus=1.0, tau_theta=10_000.0)
+        state = model.allocate_state(1)
+        current = np.array([200.0])
+        for _ in range(50):
+            model.step(state, current, dt=1.0)
+        assert state.extra["theta"][0] > 0.0
+
+    def test_adaptation_slows_firing(self):
+        """Under constant drive, later windows contain fewer spikes."""
+        model = AdaptiveLIFModel(theta_plus=2.0, tau_theta=50_000.0, t_ref=0.0)
+        state = model.allocate_state(1)
+        current = np.array([40.0])
+        first, second = 0, 0
+        for step in range(2000):
+            spiked = model.step(state, current, dt=1.0).any()
+            if step < 1000:
+                first += int(spiked)
+            else:
+                second += int(spiked)
+        assert second < first
+
+    def test_theta_decays_back(self):
+        model = AdaptiveLIFModel(theta_plus=5.0, tau_theta=20.0)
+        state = model.allocate_state(1)
+        state.extra["theta"][0] = 5.0
+        for _ in range(200):
+            model.step(state, np.zeros(1), dt=1.0)
+        assert state.extra["theta"][0] < 0.01
+
+    def test_matches_plain_lif_with_zero_adaptation(self):
+        adaptive = AdaptiveLIFModel(theta_plus=0.0, v_thresh=-50.0, t_ref=2.0)
+        plain = LIFModel(v_thresh=-50.0, t_ref=2.0)
+        s_a = adaptive.allocate_state(1)
+        s_p = plain.allocate_state(1)
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            current = rng.uniform(0, 60, size=1)
+            spiked_a = adaptive.step(s_a, current, dt=1.0)
+            spiked_p = plain.step(s_p, current, dt=1.0)
+            assert spiked_a == spiked_p
+            assert np.allclose(s_a.v, s_p.v)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            AdaptiveLIFModel(theta_plus=-1.0)
+        with pytest.raises(ValueError):
+            AdaptiveLIFModel(tau_theta=0.0)
+
+    def test_rate_homeostasis_across_population(self):
+        """Adaptation compresses the absolute rate spread between strongly
+        and weakly driven neurons (the Diehl & Cook purpose: no single
+        neuron may monopolize the winner-take-all)."""
+        def rate_gap(model_cls, **kwargs):
+            model = model_cls(**kwargs)
+            state = model.allocate_state(2)
+            currents = np.array([30.0, 120.0])
+            counts = np.zeros(2)
+            for _ in range(3000):
+                counts += model.step(state, currents, dt=1.0)
+            return counts[1] - counts[0]
+
+        plain = rate_gap(LIFModel, v_thresh=-52.0, t_ref=5.0)
+        adaptive = rate_gap(
+            AdaptiveLIFModel, v_thresh=-52.0, t_ref=5.0, theta_plus=2.0,
+            tau_theta=500.0,
+        )
+        assert adaptive < plain

@@ -1,0 +1,103 @@
+"""Tests for spike-train analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.snn.analysis import (
+    active_fraction,
+    firing_rate_hz,
+    isi_cv,
+    population_rate,
+    rate_histogram,
+    spike_raster,
+    synchrony_index,
+)
+from repro.snn.generators import poisson_spike_times
+
+
+class TestFiringRate:
+    def test_basic(self):
+        train = np.arange(0.0, 1000.0, 100.0)  # 10 spikes / s
+        assert firing_rate_hz(train, 1000.0) == 10.0
+
+    def test_empty(self):
+        assert firing_rate_hz(np.empty(0), 500.0) == 0.0
+
+
+class TestIsiCv:
+    def test_regular_train_low_cv(self):
+        train = np.arange(0.0, 1000.0, 20.0)
+        assert isi_cv(train) == pytest.approx(0.0, abs=1e-12)
+
+    def test_poisson_cv_near_one(self):
+        train = poisson_spike_times(100.0, 60_000.0, seed=0)
+        assert 0.85 < isi_cv(train) < 1.15
+
+    def test_short_train_nan(self):
+        assert np.isnan(isi_cv(np.array([1.0, 2.0])))
+
+
+class TestPopulationRate:
+    def test_uniform_rate(self):
+        trains = [np.arange(0.0, 1000.0, 100.0) for _ in range(4)]
+        centers, rates = population_rate(trains, 1000.0, bin_ms=100.0)
+        assert centers.size == rates.size == 10
+        assert rates.mean() == pytest.approx(10.0)
+
+    def test_empty_population(self):
+        centers, rates = population_rate([], 100.0)
+        assert (rates == 0).all()
+
+    def test_burst_localized(self):
+        trains = [np.array([450.0, 455.0, 460.0])]
+        centers, rates = population_rate(trains, 1000.0, bin_ms=100.0)
+        assert rates.argmax() == 4  # the 400-500 ms bin
+
+
+class TestSynchrony:
+    def test_identical_trains_fully_synchronous(self):
+        shared = np.arange(0.0, 1000.0, 50.0)
+        trains = [shared.copy() for _ in range(8)]
+        assert synchrony_index(trains, 1000.0) == pytest.approx(1.0)
+
+    def test_independent_poisson_low(self):
+        trains = [
+            poisson_spike_times(40.0, 5000.0, seed=i) for i in range(16)
+        ]
+        assert synchrony_index(trains, 5000.0) < 0.5
+
+    def test_silent_population_nan(self):
+        assert np.isnan(synchrony_index([np.empty(0)] * 3, 100.0))
+
+
+class TestActiveFraction:
+    def test_counts_active(self):
+        trains = [np.array([1.0]), np.empty(0), np.array([1.0, 2.0])]
+        assert active_fraction(trains) == pytest.approx(2 / 3)
+
+    def test_threshold(self):
+        trains = [np.array([1.0]), np.array([1.0, 2.0])]
+        assert active_fraction(trains, threshold_spikes=2) == 0.5
+
+    def test_empty(self):
+        assert active_fraction([]) == 0.0
+
+
+class TestRateHistogram:
+    def test_bins_cover_rates(self):
+        trains = [np.arange(0.0, 1000.0, 1000.0 / r) for r in (5, 10, 20)]
+        edges, counts = rate_histogram(trains, 1000.0, n_bins=5)
+        assert counts.sum() == 3
+
+
+class TestSpikeRaster:
+    def test_coordinates(self):
+        trains = [np.array([1.0, 5.0]), np.array([3.0])]
+        times, ids = spike_raster(trains)
+        assert sorted(zip(times.tolist(), ids.tolist())) == [
+            (1.0, 0), (3.0, 1), (5.0, 0),
+        ]
+
+    def test_empty(self):
+        times, ids = spike_raster([])
+        assert times.size == ids.size == 0

@@ -1,0 +1,89 @@
+"""Tests for rate / temporal coding."""
+
+import numpy as np
+import pytest
+
+from repro.snn.coding import (
+    first_spike_decode,
+    interspike_intervals,
+    latency_encode,
+    rate_decode,
+    rate_encode,
+)
+
+
+class TestRateEncode:
+    def test_linear_mapping(self):
+        rates = rate_encode(np.array([0.0, 0.5, 1.0]), max_rate_hz=100.0)
+        assert list(rates) == [0.0, 50.0, 100.0]
+
+    def test_min_rate_floor(self):
+        rates = rate_encode(np.array([0.0]), max_rate_hz=100.0, min_rate_hz=5.0)
+        assert rates[0] == 5.0
+
+    def test_clipping_out_of_range_values(self):
+        rates = rate_encode(np.array([-1.0, 2.0]), max_rate_hz=10.0)
+        assert list(rates) == [0.0, 10.0]
+
+    def test_bad_bounds_raise(self):
+        with pytest.raises(ValueError):
+            rate_encode(np.array([0.5]), max_rate_hz=10.0, min_rate_hz=20.0)
+
+
+class TestRateRoundTrip:
+    def test_encode_decode_identity(self):
+        values = np.array([0.1, 0.4, 0.9])
+        rates = rate_encode(values, max_rate_hz=100.0)
+        # Build exact trains at those rates over 1 s.
+        trains = [np.arange(0.0, 1000.0, 1000.0 / r) for r in rates]
+        decoded = rate_decode(trains, duration_ms=1000.0, max_rate_hz=100.0)
+        assert np.allclose(decoded, values, atol=0.02)
+
+
+class TestLatencyEncode:
+    def test_stronger_spikes_earlier(self):
+        trains = latency_encode(np.array([1.0, 0.5, 0.0]), window_ms=20.0)
+        assert trains[0][0] < trains[1][0] < trains[2][0]
+
+    def test_window_bounds(self):
+        trains = latency_encode(np.array([1.0, 0.0]), window_ms=20.0,
+                                t_offset_ms=5.0)
+        assert trains[0][0] == 5.0
+        assert trains[1][0] == 25.0
+
+    def test_repeats(self):
+        trains = latency_encode(
+            np.array([0.5]), window_ms=10.0, repeat_period_ms=100.0, n_repeats=3
+        )
+        assert trains[0].size == 3
+        assert np.allclose(np.diff(trains[0]), 100.0)
+
+    def test_repeat_without_period_raises(self):
+        with pytest.raises(ValueError):
+            latency_encode(np.array([0.5]), n_repeats=2)
+
+
+class TestFirstSpikeDecode:
+    def test_round_trip(self):
+        values = np.array([0.9, 0.3, 0.6])
+        trains = latency_encode(values, window_ms=20.0)
+        decoded = first_spike_decode(trains, window_ms=20.0)
+        assert np.allclose(decoded, values)
+
+    def test_silent_neuron_decodes_zero(self):
+        decoded = first_spike_decode([np.empty(0)], window_ms=20.0)
+        assert decoded[0] == 0.0
+
+
+class TestInterspikeIntervals:
+    def test_regular_train(self):
+        isis = interspike_intervals(np.array([0.0, 10.0, 20.0]))
+        assert list(isis) == [10.0, 10.0]
+
+    def test_unsorted_input_handled(self):
+        isis = interspike_intervals(np.array([20.0, 0.0, 10.0]))
+        assert list(isis) == [10.0, 10.0]
+
+    @pytest.mark.parametrize("train", [[], [5.0]])
+    def test_short_trains_empty(self, train):
+        assert interspike_intervals(np.asarray(train)).size == 0

@@ -1,0 +1,126 @@
+"""Tests for connectivity builders."""
+
+import numpy as np
+import pytest
+
+from repro.snn.synapse import (
+    all_to_all,
+    count_synapses,
+    distance_dependent,
+    gaussian_kernel_2d,
+    one_to_one,
+    sparse_random,
+)
+
+
+class TestAllToAll:
+    def test_shape_and_value(self):
+        w = all_to_all(3, 4, weight=2.0)
+        assert w.shape == (3, 4)
+        assert (w == 2.0).all()
+
+    def test_no_self_zeroes_diagonal(self):
+        w = all_to_all(4, 4, weight=1.0, allow_self=False)
+        assert np.diag(w).sum() == 0
+        assert count_synapses(w) == 12
+
+    def test_no_self_ignored_for_rectangular(self):
+        w = all_to_all(2, 3, allow_self=False)
+        assert count_synapses(w) == 6
+
+    def test_zero_size_raises(self):
+        with pytest.raises(ValueError):
+            all_to_all(0, 3)
+
+
+class TestOneToOne:
+    def test_identity_pattern(self):
+        w = one_to_one(5, weight=3.0)
+        assert count_synapses(w) == 5
+        assert (np.diag(w) == 3.0).all()
+
+
+class TestSparseRandom:
+    def test_probability_zero_empty(self):
+        w = sparse_random(10, 10, probability=0.0, seed=0)
+        assert count_synapses(w) == 0
+
+    def test_probability_one_full(self):
+        w = sparse_random(10, 10, probability=1.0, seed=0)
+        assert count_synapses(w) == 100
+
+    def test_density_close_to_probability(self):
+        w = sparse_random(100, 100, probability=0.3, seed=1)
+        density = count_synapses(w) / w.size
+        assert 0.25 < density < 0.35
+
+    def test_deterministic_given_seed(self):
+        a = sparse_random(20, 20, probability=0.5, seed=9)
+        b = sparse_random(20, 20, probability=0.5, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_negative_weight_keeps_sign(self):
+        w = sparse_random(30, 30, probability=0.5, weight=-2.0,
+                          weight_std=0.5, seed=2)
+        nz = w[w != 0]
+        assert (nz <= 0).all()
+
+    def test_no_self_connections(self):
+        w = sparse_random(15, 15, probability=1.0, allow_self=False, seed=0)
+        assert np.diag(w).sum() == 0
+
+    def test_bad_probability_raises(self):
+        with pytest.raises(ValueError):
+            sparse_random(5, 5, probability=1.5)
+
+
+class TestGaussianKernel:
+    def test_center_strongest(self):
+        w = gaussian_kernel_2d((5, 5), sigma=1.0, weight=1.0, radius=2)
+        center = 2 * 5 + 2
+        row = w[center]
+        assert row[center] == row.max() == 1.0
+
+    def test_kernel_respects_radius(self):
+        w = gaussian_kernel_2d((7, 7), sigma=1.0, weight=1.0, radius=1)
+        center = 3 * 7 + 3
+        targets = np.nonzero(w[center])[0]
+        for t in targets:
+            r, c = divmod(t, 7)
+            assert abs(r - 3) <= 1 and abs(c - 3) <= 1
+
+    def test_edge_pixels_have_fewer_targets(self):
+        w = gaussian_kernel_2d((5, 5), sigma=1.0, radius=2)
+        corner_targets = count_synapses(w[0:1])
+        center_targets = count_synapses(w[12:13])
+        assert corner_targets < center_targets
+
+    def test_symmetric_weights(self):
+        w = gaussian_kernel_2d((6, 6), sigma=1.5, radius=2)
+        assert np.allclose(w, w.T)
+
+
+class TestDistanceDependent:
+    def test_nearby_more_likely_than_far(self):
+        n = 64
+        pos = np.array([(x, y, z) for x in range(4) for y in range(4)
+                        for z in range(4)], dtype=float)
+        w = distance_dependent(pos, pos, lambda_=2.0, probability_scale=1.0,
+                               seed=3)
+        dist = np.sqrt(((pos[:, None] - pos[None, :]) ** 2).sum(-1))
+        near = (w != 0) & (dist < 1.5)
+        far = (w != 0) & (dist > 4.0)
+        near_rate = near.sum() / max((dist < 1.5).sum(), 1)
+        far_rate = far.sum() / max((dist > 4.0).sum(), 1)
+        assert near_rate > far_rate
+
+    def test_deterministic_given_seed(self):
+        pos = np.random.default_rng(0).random((10, 3))
+        a = distance_dependent(pos, pos, lambda_=1.0, seed=5)
+        b = distance_dependent(pos, pos, lambda_=1.0, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_invalid_lambda_raises(self):
+        pos = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            distance_dependent(pos, pos, lambda_=0.0)

@@ -1,0 +1,87 @@
+"""Tests for ASCII charts."""
+
+import pytest
+
+from repro.utils.plotting import (
+    bar_chart,
+    grouped_bar_chart,
+    line_plot,
+    sparkline,
+)
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        out = bar_chart(["a", "b"], [10.0, 5.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_zero_value_no_bar(self):
+        out = bar_chart(["z"], [0.0])
+        assert "#" not in out
+
+    def test_title(self):
+        assert bar_chart(["a"], [1.0], title="T").splitlines()[0] == "T"
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+
+    def test_empty(self):
+        assert "(empty)" in bar_chart([], [])
+
+
+class TestGroupedBarChart:
+    def test_structure(self):
+        out = grouped_bar_chart(
+            ["g1", "g2"],
+            {"pso": [1.0, 2.0], "pacman": [2.0, 4.0]},
+        )
+        assert "g1:" in out and "g2:" in out
+        assert out.count("pso") == 2
+
+    def test_series_length_validated(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["g1"], {"s": [1.0, 2.0]})
+
+
+class TestLinePlot:
+    def test_dimensions(self):
+        out = line_plot([0, 1, 2], [0, 1, 4], height=5, width=20)
+        rows = out.splitlines()
+        assert len(rows) == 5 + 2  # grid + axis + x labels
+        assert any("*" in r for r in rows)
+
+    def test_extremes_marked(self):
+        out = line_plot([0, 10], [0, 100], height=4, width=10)
+        rows = out.splitlines()
+        assert "*" in rows[0]       # max lands on the top row
+        assert "*" in rows[3]       # min lands on the bottom grid row
+
+    def test_constant_series(self):
+        out = line_plot([0, 1], [5, 5], height=3, width=8)
+        assert "*" in out
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            line_plot([1], [1, 2])
+
+    def test_empty(self):
+        assert "(empty)" in line_plot([], [])
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        s = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_constant(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""

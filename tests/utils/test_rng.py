@@ -1,0 +1,65 @@
+"""Tests for RNG helpers: determinism, independence, coercion."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import default_rng, derive_seed, spawn_rngs
+
+
+class TestDefaultRng:
+    def test_int_seed_is_deterministic(self):
+        a = default_rng(42).random(8)
+        b = default_rng(42).random(8)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = default_rng(1).random(8)
+        b = default_rng(2).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert default_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(default_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero(self):
+        assert len(spawn_rngs(0, 0)) == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_streams_independent(self):
+        r1, r2 = spawn_rngs(7, 2)
+        assert not np.array_equal(r1.random(16), r2.random(16))
+
+    def test_deterministic_from_seed(self):
+        a = [g.random() for g in spawn_rngs(3, 4)]
+        b = [g.random() for g in spawn_rngs(3, 4)]
+        assert a == b
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(5), 3)
+        assert len(children) == 3
+
+
+class TestDeriveSeed:
+    def test_none_stays_none(self):
+        assert derive_seed(None, 3) is None
+
+    def test_deterministic(self):
+        assert derive_seed(10, 1) == derive_seed(10, 1)
+
+    def test_salt_changes_seed(self):
+        assert derive_seed(10, 1) != derive_seed(10, 2)
+
+    def test_from_generator_is_int(self):
+        s = derive_seed(np.random.default_rng(0), 0)
+        assert isinstance(s, int)

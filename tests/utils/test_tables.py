@@ -1,0 +1,34 @@
+"""Tests for the plain-text table formatter."""
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_present(self):
+        out = format_table(["a", "bb"], [[1, 2], [3, 4]])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert len(lines) == 4  # header + separator + 2 rows
+
+    def test_alignment_widths(self):
+        out = format_table(["col"], [["a-very-long-cell"]])
+        header, sep, row = out.splitlines()
+        assert len(header) == len(sep) == len(row)
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[3.14159265]])
+        assert "3.142" in out
+
+    def test_ragged_row_raises(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert out.splitlines()[0].strip() == "a"
+
+    def test_mixed_types(self):
+        out = format_table(["k", "v"], [["name", 1], ["rate", 2.5]])
+        assert "name" in out and "2.5" in out

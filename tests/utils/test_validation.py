@@ -1,0 +1,68 @@
+"""Tests for argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_index_range,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.001])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", bad)
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="x"):
+            check_nonnegative("x", -1e-9)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, ok):
+        assert check_probability("p", ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ValueError, match="p"):
+            check_probability("p", bad)
+
+
+class TestCheckShape:
+    def test_accepts_match(self):
+        arr = np.zeros((2, 3))
+        assert check_shape("a", arr, (2, 3)) is arr
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            check_shape("a", np.zeros((2, 3)), (3, 2))
+
+
+class TestCheckIndexRange:
+    def test_accepts_in_range(self):
+        check_index_range("idx", [0, 1, 4], 5)
+
+    def test_empty_ok(self):
+        check_index_range("idx", [], 5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="idx"):
+            check_index_range("idx", [-1, 0], 5)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError, match="idx"):
+            check_index_range("idx", [5], 5)
