@@ -23,7 +23,8 @@ from repro.hardware.config import load_architecture, save_architecture
 from repro.hardware.presets import custom
 from repro.metrics.congestion import congestion_report
 from repro.noc.faults import inject_random_faults
-from repro.noc.interconnect import Interconnect
+from repro.noc.fastsim import build_interconnect
+from repro.noc.interconnect import NocConfig
 from repro.noc.routing import shortest_path_routing
 from repro.noc.traffic import build_injections
 from repro.utils.tables import format_table
@@ -98,8 +99,9 @@ def main() -> None:
             topo, faults = topology, []
         else:
             topo, faults = inject_random_faults(topology, n_faults, seed=4)
-        stats = Interconnect(
-            topo, routing=shortest_path_routing(topo)
+        stats = build_interconnect(
+            topo, routing=shortest_path_routing(topo),
+            config=NocConfig(backend="fast"),
         ).simulate(schedule.injections)
         rows.append((
             n_faults,

@@ -2,8 +2,8 @@
 
 The paper's objective (Eq. 8) is the total spike count on the global
 synapse interconnect.  :class:`InterconnectFitness` evaluates it for
-single assignments and swarm batches, with two refinements available as
-options (both default off, matching the paper):
+single assignments and swarm batches, with three refinements available
+as options (all default off, matching the paper):
 
 - ``count_packets`` — count unique (neuron, destination-crossbar) packets
   instead of per-synapse spikes.  With in-network multicast a neuron
@@ -12,6 +12,16 @@ options (both default off, matching the paper):
   compares both.
 - ``hop_weighted`` — weight each crossing by the routed hop distance
   between the two crossbars, approximating energy rather than congestion.
+  Evaluated through a precomputed crossbar-to-crossbar hop matrix, so
+  swarm batches reduce to one fancy-indexing pass over the synapse pairs.
+- ``noc_in_loop`` — score an assignment by actually simulating its AER
+  traffic on the interconnect with the fast vectorized backend
+  (:mod:`repro.noc.fastsim`) and reading a congestion-aware metric off
+  the resulting :class:`~repro.noc.stats.NocStats`.  This is the most
+  faithful objective the system has: it sees buffering, arbitration and
+  multicast forking, not just traffic counts.  Swarm batches run through
+  :meth:`~repro.noc.fastsim.FastInterconnect.simulate_many`, which
+  amortizes the routing tables across the whole swarm.
 """
 
 from __future__ import annotations
@@ -20,10 +30,15 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.traffic_matrix import TrafficMatrix, cluster_traffic
+from repro.core.traffic_matrix import TrafficMatrix
 from repro.noc.routing import RoutingTable
 from repro.noc.topology import Topology
 from repro.snn.graph import SpikeGraph
+
+#: Penalty per undelivered (packet, destination) pair in noc_in_loop
+#: mode: a mapping that deadlocks or cannot drain must always lose to
+#: any mapping that delivers everything.
+UNDELIVERED_PENALTY = 1e9
 
 
 class InterconnectFitness:
@@ -31,6 +46,23 @@ class InterconnectFitness:
 
     Lower is better.  ``evaluate`` takes one assignment; ``evaluate_batch``
     takes a (P, N) swarm and returns (P,) fitness values.
+
+    Parameters
+    ----------
+    noc_in_loop:
+        Score assignments by cycle-accurate NoC simulation (fast
+        backend) instead of closed-form traffic counts.  Requires
+        ``topology``.
+    noc_metric:
+        What to read off the simulation in ``noc_in_loop`` mode:
+        ``"hops"`` (total link traversals — the energy-proportional
+        event count) or ``"latency"`` (mean spike latency in cycles).
+        Undelivered packets add :data:`UNDELIVERED_PENALTY` each.
+    noc_config:
+        Interconnect parameters for ``noc_in_loop`` mode; the backend is
+        forced to "fast".
+    cycles_per_ms:
+        Spike-time to NoC-cycle conversion for ``noc_in_loop`` mode.
     """
 
     def __init__(
@@ -40,6 +72,10 @@ class InterconnectFitness:
         hop_weighted: bool = False,
         topology: Optional[Topology] = None,
         routing: Optional[RoutingTable] = None,
+        noc_in_loop: bool = False,
+        noc_metric: str = "hops",
+        noc_config=None,
+        cycles_per_ms: float = 10.0,
     ) -> None:
         self.graph = graph
         self.matrix = TrafficMatrix(graph)
@@ -49,14 +85,36 @@ class InterconnectFitness:
             raise ValueError(
                 "hop_weighted fitness needs a topology and routing table"
             )
+        if noc_in_loop and topology is None:
+            raise ValueError("noc_in_loop fitness needs a topology")
+        if noc_metric not in ("hops", "latency"):
+            raise ValueError(
+                f"unknown noc_metric {noc_metric!r}; use 'hops' or 'latency'"
+            )
         self.topology = topology
         self.routing = routing
+        self.noc_in_loop = noc_in_loop
+        self.noc_metric = noc_metric
+        self.cycles_per_ms = cycles_per_ms
+        self._hop_matrix: Optional[np.ndarray] = None
+        self._noc = None
+        if noc_in_loop:
+            import dataclasses
+
+            from repro.noc.fastsim import FastInterconnect
+            from repro.noc.interconnect import NocConfig
+
+            base = noc_config if noc_config is not None else NocConfig()
+            cfg = dataclasses.replace(base, backend="fast")
+            self._noc = FastInterconnect(topology, routing, cfg)
 
     # -- single assignment ------------------------------------------------------
 
     def evaluate(self, assignment: np.ndarray) -> float:
         """Objective value of one assignment (lower is better)."""
         a = np.asarray(assignment, dtype=np.int64)
+        if self.noc_in_loop:
+            return self._simulate_one(a)
         if self.hop_weighted:
             return self._hop_weighted(a)
         if self.count_packets:
@@ -68,8 +126,10 @@ class InterconnectFitness:
         a = np.asarray(assignments, dtype=np.int64)
         if a.ndim == 1:
             a = a[None, :]
+        if self.noc_in_loop:
+            return self._simulate_batch(a)
         if self.hop_weighted:
-            return np.asarray([self.evaluate(row) for row in a])
+            return self._hop_weighted_batch(a)
         if self.count_packets:
             return self.matrix.packet_traffic_batch(a)
         return self.matrix.global_traffic_batch(a)
@@ -79,17 +139,90 @@ class InterconnectFitness:
         """Fitness when every synapse is global (all traffic crosses)."""
         return self.matrix.total
 
-    # -- variants ---------------------------------------------------------------
+    # -- hop-weighted variant ---------------------------------------------------
+
+    def _hop_distances(self) -> np.ndarray:
+        """Crossbar-to-crossbar routed hop matrix, shape (C, C).
+
+        Sized from the topology's attach-point count — never from an
+        assignment's maximum cluster id — so assignments that leave
+        trailing crossbars empty index the same matrix as full ones.
+        """
+        if self._hop_matrix is None:
+            c = self.topology.n_attach_points
+            d = np.zeros((c, c), dtype=np.float64)
+            nodes = [self.topology.node_of_crossbar(k) for k in range(c)]
+            for k1 in range(c):
+                for k2 in range(c):
+                    if k1 != k2:
+                        d[k1, k2] = self.routing.distance(nodes[k1], nodes[k2])
+            self._hop_matrix = d
+        return self._hop_matrix
+
+    def _check_clusters(self, a: np.ndarray) -> None:
+        c = self.topology.n_attach_points
+        if a.size and int(a.max()) >= c:
+            raise ValueError(
+                f"assignment uses cluster {int(a.max())} but the topology "
+                f"has only {c} crossbar attach points"
+            )
 
     def _hop_weighted(self, assignment: np.ndarray) -> float:
-        n_clusters = int(assignment.max()) + 1
-        matrix = cluster_traffic(self.graph, assignment, n_clusters)
-        total = 0.0
-        for k1 in range(n_clusters):
-            n1 = self.topology.node_of_crossbar(k1)
-            for k2 in range(n_clusters):
-                if k1 == k2 or matrix[k1, k2] == 0.0:
-                    continue
-                n2 = self.topology.node_of_crossbar(k2)
-                total += matrix[k1, k2] * self.routing.distance(n1, n2)
-        return total
+        """Eq. 8 weighted by routed hop distance, one assignment.
+
+        One gather over the pre-merged synapse pairs: traffic on pair
+        (i, j) costs ``D[a[i], a[j]]`` hops (zero when co-located).
+        """
+        self._check_clusters(assignment)
+        d = self._hop_distances()
+        m = self.matrix
+        return float(
+            (m.traffic * d[assignment[m.src], assignment[m.dst]]).sum()
+        )
+
+    def _hop_weighted_batch(self, assignments: np.ndarray) -> np.ndarray:
+        """Hop-weighted fitness for a (P, N) swarm in one gather."""
+        self._check_clusters(assignments)
+        d = self._hop_distances()
+        m = self.matrix
+        if m.n_pairs == 0:
+            return np.zeros(assignments.shape[0], dtype=np.float64)
+        # (P, E) hop distances via one fancy-indexing pass, then a
+        # traffic-weighted row sum.
+        hop = d[assignments[:, m.src], assignments[:, m.dst]]
+        return hop @ m.traffic
+
+    # -- NoC-in-the-loop variant ------------------------------------------------
+
+    def _score(self, stats) -> float:
+        if self.noc_metric == "latency":
+            value = stats.mean_latency()
+        else:
+            value = float(stats.total_hops())
+        return value + UNDELIVERED_PENALTY * stats.undelivered_count
+
+    def _simulate_one(self, assignment: np.ndarray) -> float:
+        from repro.noc.traffic import build_injections
+
+        self._check_clusters(assignment)
+        schedule = build_injections(
+            self.graph, assignment, self.topology,
+            cycles_per_ms=self.cycles_per_ms,
+        )
+        return self._score(self._noc.simulate(schedule.injections))
+
+    def _simulate_batch(self, assignments: np.ndarray) -> np.ndarray:
+        from repro.noc.traffic import build_injections
+
+        self._check_clusters(assignments)
+        schedules = [
+            build_injections(
+                self.graph, row, self.topology,
+                cycles_per_ms=self.cycles_per_ms,
+            ).injections
+            for row in assignments
+        ]
+        return np.asarray(
+            [self._score(s) for s in self._noc.simulate_many(schedules)],
+            dtype=np.float64,
+        )

@@ -240,6 +240,25 @@ class BinaryPSO:
         return (u > cdf).sum(axis=2).astype(np.int64)
 
     def _repair_batch(self, assignments: np.ndarray) -> np.ndarray:
+        # With a move_cost, eviction order is cost-sorted and repair is
+        # fully deterministic — no randomness is consumed at all.
+        # Without one, repair permutes evictees randomly; feeding every
+        # repair from the shared swarm stream would make each particle's
+        # randomness depend on *which other particles* happened to be
+        # infeasible that iteration, coupling particles across the
+        # batch.  Instead, one fixed-size draw of child seeds per call
+        # gives every particle an independent stream while keeping the
+        # main stream's consumption independent of the feasibility
+        # pattern.
+        if self.move_cost is None:
+            child_rngs = [
+                default_rng(int(s))
+                for s in self.rng.integers(
+                    0, 2**63 - 1, size=assignments.shape[0]
+                )
+            ]
+        else:
+            child_rngs = None
         for i in range(assignments.shape[0]):
             sizes = np.bincount(assignments[i], minlength=self.n_clusters)
             if sizes.max() > self.capacity:
@@ -247,7 +266,7 @@ class BinaryPSO:
                     assignments[i],
                     self.n_clusters,
                     self.capacity,
-                    rng=self.rng,
+                    rng=child_rngs[i] if child_rngs is not None else None,
                     move_cost=self.move_cost,
                 )
         return assignments

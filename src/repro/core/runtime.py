@@ -26,7 +26,7 @@ import numpy as np
 from repro.core.partition import Partition, is_feasible
 from repro.core.traffic_matrix import TrafficMatrix
 from repro.snn.graph import SpikeGraph
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_nonnegative, check_positive
 
 
 @dataclass(frozen=True)
@@ -69,7 +69,9 @@ class RuntimeRemapper:
     ) -> None:
         check_positive("n_clusters", n_clusters)
         check_positive("capacity", capacity)
-        check_positive("migration_budget", migration_budget)
+        # A zero budget is legal: the epoch observes and audits but may
+        # not move anything (useful for dry-run monitoring).
+        check_nonnegative("migration_budget", migration_budget)
         if not is_feasible(np.asarray(assignment), n_clusters, capacity):
             raise ValueError("initial assignment is not feasible")
         self.graph = graph

@@ -25,6 +25,7 @@ from repro.core.mapper import METHODS, compare_methods
 from repro.framework.exploration import explore_architecture
 from repro.framework.pipeline import run_pipeline
 from repro.hardware.config import load_architecture
+from repro.noc.interconnect import NocConfig
 from repro.hardware.presets import architecture_for, custom
 from repro.utils.tables import format_table
 
@@ -52,6 +53,15 @@ def _add_arch_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cycles-per-ms", type=float, default=10.0)
     parser.add_argument("--arch-config", default=None,
                         help="platform config file (overrides the flags)")
+
+
+def _add_noc_backend_argument(parser: argparse.ArgumentParser) -> None:
+    """Only for subcommands that actually run the NoC simulation."""
+    parser.add_argument(
+        "--noc-backend", default="reference", choices=["reference", "fast"],
+        help="interconnect simulation engine (fast = vectorized backend, "
+             "bit-identical under deterministic routing)",
+    )
 
 
 def _add_pso_arguments(parser: argparse.ArgumentParser) -> None:
@@ -100,6 +110,7 @@ def _cmd_map(args) -> int:
         graph, arch, method=args.method, seed=args.seed,
         pso_config=PSOConfig(n_particles=args.particles,
                              n_iterations=args.iterations),
+        noc_config=NocConfig(backend=args.noc_backend),
     )
     print(result.mapping.describe())
     print(result.noc_stats.describe())
@@ -139,6 +150,7 @@ def _cmd_explore(args) -> int:
         seed=args.seed,
         pso_config=PSOConfig(n_particles=args.particles,
                              n_iterations=args.iterations),
+        noc_config=NocConfig(backend=args.noc_backend),
     )
     rows = [
         (p.neurons_per_crossbar, p.n_crossbars, f"{p.local_energy_uj:.3f}",
@@ -168,6 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_app_arguments(p_map)
     _add_arch_arguments(p_map)
     _add_pso_arguments(p_map)
+    _add_noc_backend_argument(p_map)
     p_map.add_argument("--method", default="pso", choices=METHODS)
 
     p_cmp = sub.add_parser("compare", help="compare partitioning methods")
@@ -181,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_app_arguments(p_exp)
     _add_arch_arguments(p_exp)
     _add_pso_arguments(p_exp)
+    _add_noc_backend_argument(p_exp)
     p_exp.add_argument("--method", default="pso", choices=METHODS)
     p_exp.add_argument("--sizes", nargs="+", type=int,
                        default=[90, 180, 360, 720, 1440])

@@ -14,7 +14,8 @@ from repro.core.mapper import MappingResult, map_snn
 from repro.core.pso import PSOConfig
 from repro.hardware.architecture import Architecture
 from repro.metrics.report import MetricReport, build_report
-from repro.noc.interconnect import Interconnect, NocConfig
+from repro.noc.fastsim import build_interconnect
+from repro.noc.interconnect import NocConfig
 from repro.noc.stats import NocStats
 from repro.noc.traffic import InjectionSchedule, build_injections
 from repro.snn.graph import SpikeGraph
@@ -64,6 +65,9 @@ def run_pipeline(
         When false, skip the cycle-accurate interconnect simulation and
         return empty NoC statistics (useful for mapping-only sweeps where
         the fitness value is the quantity of interest).
+    noc_config:
+        Interconnect parameters, including ``backend="reference"|"fast"``
+        to pick the simulation engine (see :mod:`repro.noc.fastsim`).
     """
     mapping = map_snn(
         graph, architecture, method=method, seed=seed, pso_config=pso_config
@@ -76,7 +80,7 @@ def run_pipeline(
         cycles_per_ms=architecture.cycles_per_ms,
     )
     if simulate_noc:
-        interconnect = Interconnect(topology, config=noc_config)
+        interconnect = build_interconnect(topology, config=noc_config)
         stats = interconnect.simulate(schedule.injections)
     else:
         stats = NocStats()

@@ -12,6 +12,9 @@ surface:
   tables;
 - :mod:`repro.noc.interconnect` — the cycle-accurate, input-buffered,
   round-robin-arbitrated simulation loop with multicast forking;
+- :mod:`repro.noc.fastsim` — the table-driven vectorized backend
+  (``NocConfig(backend="fast")``), bit-identical to the reference loop
+  under deterministic routing and batched via ``simulate_many``;
 - :mod:`repro.noc.traffic` — converts a mapped spike graph into AER packet
   injection schedules;
 - :mod:`repro.noc.stats` — per-packet delivery records and link utilization
@@ -28,6 +31,7 @@ from repro.noc.routing import (
     xy_routing,
 )
 from repro.noc.interconnect import Interconnect, NocConfig
+from repro.noc.fastsim import FastInterconnect, build_interconnect, simulate_many
 from repro.noc.stats import DeliveryRecord, NocStats
 from repro.noc.traffic import InjectionSchedule, build_injections
 from repro.noc.faults import degrade_topology, inject_random_faults
@@ -47,6 +51,9 @@ __all__ = [
     "degrade_topology",
     "inject_random_faults",
     "Interconnect",
+    "FastInterconnect",
+    "build_interconnect",
+    "simulate_many",
     "NocConfig",
     "NocStats",
     "DeliveryRecord",

@@ -1,0 +1,109 @@
+"""Loader for the optional compiled NoC kernel.
+
+The deterministic-routing hot loop of the fast backend has a C
+transcription in ``_fastsim_kernel.c``.  When a C compiler is available
+the kernel is built once (into the package directory, rebuilt only when
+the source changes) and loaded through :mod:`ctypes`; when it is not —
+or when ``REPRO_NOC_NO_CKERNEL`` is set — :func:`load_kernel` returns
+``None`` and the pure-Python engine runs instead.  No extra Python
+dependencies are involved either way.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import subprocess
+from typing import Optional
+
+_SRC = os.path.join(os.path.dirname(__file__), "_fastsim_kernel.c")
+_SO = os.path.join(os.path.dirname(__file__), "_fastsim_kernel.so")
+
+_i32p = ctypes.POINTER(ctypes.c_int32)
+_i64p = ctypes.POINTER(ctypes.c_int64)
+_u64p = ctypes.POINTER(ctypes.c_uint64)
+
+
+class KernelResult(ctypes.Structure):
+    """Mirror of the C ``Result`` struct."""
+
+    _fields_ = [
+        ("d_meta", _i32p),
+        ("d_dst", _i32p),
+        ("d_cycle", _i64p),
+        ("d_hops", _i32p),
+        ("d_len", ctypes.c_int64),
+        ("cycles_run", ctypes.c_int64),
+        ("status", ctypes.c_int32),
+    ]
+
+
+_ARGTYPES = [
+    ctypes.c_int32,  # n_routers
+    ctypes.c_int32,  # n_flat_ports
+    _i32p,           # port_base
+    _i32p,           # nports
+    _i32p,           # deg_off
+    _i32p,           # nbr
+    _u64p,           # out_mask
+    _i32p,           # out_gp
+    _i32p,           # out_eidx
+    ctypes.c_int32,  # capacity
+    ctypes.c_int32,  # ej_max
+    ctypes.c_int64,  # deadline
+    ctypes.c_int64,  # n_packets
+    _u64p,           # pk_mask
+    _i32p,           # pk_srcgp
+    ctypes.c_int64,  # n_buckets
+    _i64p,           # bucket_cycle
+    _i64p,           # bucket_off
+    _i32p,           # bucket_pid
+    _i64p,           # link_counts
+    _i32p,           # peaks
+]
+
+_cached: Optional[ctypes.CDLL] = None
+_load_attempted = False
+
+
+def _build() -> None:
+    # Per-process temp name: concurrent builders (pytest-xdist workers,
+    # future swarm shards) must not write into one shared path, or a
+    # half-written .so could be published and then cached forever.
+    tmp = f"{_SO}.{os.getpid()}.tmp"
+    try:
+        subprocess.run(
+            ["gcc", "-O2", "-shared", "-fPIC", "-o", tmp, _SRC],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        os.replace(tmp, _SO)  # atomic publish
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def load_kernel() -> Optional[ctypes.CDLL]:
+    """Compile (if needed) and load the C kernel, or ``None``."""
+    global _cached, _load_attempted
+    if _load_attempted:
+        return _cached
+    _load_attempted = True
+    if os.environ.get("REPRO_NOC_NO_CKERNEL"):
+        return None
+    try:
+        if (
+            not os.path.exists(_SO)
+            or os.path.getmtime(_SO) < os.path.getmtime(_SRC)
+        ):
+            _build()
+        lib = ctypes.CDLL(_SO)
+        lib.nocsim_run.argtypes = _ARGTYPES
+        lib.nocsim_run.restype = ctypes.POINTER(KernelResult)
+        lib.nocsim_free.argtypes = [ctypes.POINTER(KernelResult)]
+        lib.nocsim_free.restype = None
+        _cached = lib
+    except Exception:
+        _cached = None
+    return _cached

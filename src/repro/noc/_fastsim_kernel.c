@@ -1,0 +1,365 @@
+/* C kernel for the deterministic fast NoC backend.
+ *
+ * This is a mechanical transcription of the cycle-accurate reference
+ * loop in repro/noc/interconnect.py (and of the pure-Python engine in
+ * repro/noc/fastsim.py) restricted to the common case the kernel is
+ * allowed to handle: deterministic routing and at most 63 routers, so
+ * a packet's remaining destination set is one uint64 bitmask.
+ *
+ * Semantics reproduced bit for bit:
+ *   - routers arbitrate in ascending index order each cycle;
+ *   - input ports are scanned round-robin, rotated by the cycle number;
+ *   - a head packet splits into at most one eject group (this router's
+ *     bit) plus one group per output port (precomputed next-hop masks);
+ *   - at most `ej_max` ejections per router per cycle, one packet per
+ *     output port per cycle, credit-based backpressure against the
+ *     downstream input buffer's current occupancy;
+ *   - forwards land downstream at end of cycle (one-cycle link latency);
+ *   - idle gaps between injection bursts are skipped; the run stops at
+ *     `deadline`, leaving undelivered packets in place.
+ *
+ * The host passes flattened tables (port layout, next-hop masks, edge
+ * ids) and the packet pool columns; the kernel returns the delivery
+ * log (meta index, destination router, cycle, hop count), per-edge
+ * link loads, per-port peak occupancies and the cycle count.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+typedef struct {
+    int32_t *a;
+    int32_t head;
+    int32_t len;
+    int32_t cap;
+} Fifo;
+
+static int fifo_push(Fifo *f, int32_t v) {
+    if (f->head + f->len == f->cap) {
+        if (f->head > 0) {
+            memmove(f->a, f->a + f->head, (size_t)f->len * sizeof(int32_t));
+            f->head = 0;
+        } else {
+            int32_t ncap = f->cap ? f->cap * 2 : 8;
+            int32_t *na = (int32_t *)realloc(f->a, (size_t)ncap * sizeof(int32_t));
+            if (!na) return -1;
+            f->a = na;
+            f->cap = ncap;
+        }
+    }
+    f->a[f->head + f->len] = v;
+    f->len++;
+    return 0;
+}
+
+static inline int32_t fifo_pop(Fifo *f) {
+    int32_t v = f->a[f->head];
+    f->head++;
+    f->len--;
+    if (f->len == 0) f->head = 0;
+    return v;
+}
+
+typedef struct {
+    uint64_t *mask; /* remaining destinations, bit = router index */
+    int32_t *hops;
+    int32_t *meta;  /* index of the originating injection packet */
+    int64_t len;
+    int64_t cap;
+} Pool;
+
+static int pool_push(Pool *p, uint64_t mask, int32_t hops, int32_t meta) {
+    if (p->len == p->cap) {
+        int64_t ncap = p->cap * 2;
+        uint64_t *nm = (uint64_t *)realloc(p->mask, (size_t)ncap * sizeof(uint64_t));
+        int32_t *nh = (int32_t *)realloc(p->hops, (size_t)ncap * sizeof(int32_t));
+        int32_t *nt = (int32_t *)realloc(p->meta, (size_t)ncap * sizeof(int32_t));
+        if (!nm || !nh || !nt) {
+            /* realloc may have succeeded partially; keep the larger
+             * blocks so the final free() remains valid. */
+            if (nm) p->mask = nm;
+            if (nh) p->hops = nh;
+            if (nt) p->meta = nt;
+            return -1;
+        }
+        p->mask = nm; p->hops = nh; p->meta = nt;
+        p->cap = ncap;
+    }
+    p->mask[p->len] = mask;
+    p->hops[p->len] = hops;
+    p->meta[p->len] = meta;
+    p->len++;
+    return 0;
+}
+
+typedef struct {
+    int32_t *meta;
+    int32_t *dst;
+    int64_t *cycle;
+    int32_t *hops;
+    int64_t len;
+    int64_t cap;
+} Log;
+
+static int log_push(Log *g, int32_t meta, int32_t dst, int64_t cycle, int32_t hops) {
+    if (g->len == g->cap) {
+        int64_t ncap = g->cap ? g->cap * 2 : 64;
+        int32_t *nm = (int32_t *)realloc(g->meta, (size_t)ncap * sizeof(int32_t));
+        int32_t *nd = (int32_t *)realloc(g->dst, (size_t)ncap * sizeof(int32_t));
+        int64_t *nc = (int64_t *)realloc(g->cycle, (size_t)ncap * sizeof(int64_t));
+        int32_t *nh = (int32_t *)realloc(g->hops, (size_t)ncap * sizeof(int32_t));
+        if (nm) g->meta = nm;
+        if (nd) g->dst = nd;
+        if (nc) g->cycle = nc;
+        if (nh) g->hops = nh;
+        if (!nm || !nd || !nc || !nh) return -1;
+        g->cap = ncap;
+    }
+    g->meta[g->len] = meta;
+    g->dst[g->len] = dst;
+    g->cycle[g->len] = cycle;
+    g->hops[g->len] = hops;
+    g->len++;
+    return 0;
+}
+
+/* Result handle: the host reads the arrays, then calls nocsim_free. */
+typedef struct {
+    int32_t *d_meta;
+    int32_t *d_dst;
+    int64_t *d_cycle;
+    int32_t *d_hops;
+    int64_t d_len;
+    int64_t cycles_run;
+    int32_t status; /* 0 ok, 1 allocation failure */
+} Result;
+
+void nocsim_free(Result *res) {
+    if (!res) return;
+    free(res->d_meta);
+    free(res->d_dst);
+    free(res->d_cycle);
+    free(res->d_hops);
+    free(res);
+}
+
+/* Staged forward: lands downstream at end of cycle. */
+typedef struct {
+    int32_t gp;
+    int32_t pid;
+} Staged;
+
+Result *nocsim_run(
+    /* topology tables */
+    int32_t n_routers,
+    int32_t n_flat_ports,
+    const int32_t *port_base,   /* [n_routers] */
+    const int32_t *nports,      /* [n_routers] 1 + degree */
+    const int32_t *deg_off,     /* [n_routers+1] offsets into per-neighbor tables */
+    const int32_t *nbr,         /* [deg_total] neighbor router index */
+    const uint64_t *out_mask,   /* [deg_total] dst mask routed via this neighbor */
+    const int32_t *out_gp,      /* [deg_total] downstream global port */
+    const int32_t *out_eidx,    /* [deg_total] directed edge id */
+    /* config */
+    int32_t capacity,
+    int32_t ej_max,
+    int64_t deadline,
+    /* initial packets (pool prefix; meta[i] == i) */
+    int64_t n_packets,
+    const uint64_t *pk_mask,
+    const int32_t *pk_srcgp,    /* local injection port of the source */
+    /* injection schedule: buckets of pool indices per cycle */
+    int64_t n_buckets,
+    const int64_t *bucket_cycle,
+    const int64_t *bucket_off,  /* [n_buckets+1] */
+    const int32_t *bucket_pid,  /* [n_packets] */
+    /* outputs (host-allocated) */
+    int64_t *link_counts,       /* [n_edges], zeroed by host */
+    int32_t *peaks              /* [n_flat_ports], zeroed by host */
+) {
+    Result *res = (Result *)calloc(1, sizeof(Result));
+    if (!res) return NULL;
+
+    Fifo *bufs = (Fifo *)calloc((size_t)n_flat_ports, sizeof(Fifo));
+    int32_t *qcount = (int32_t *)calloc((size_t)n_routers, sizeof(int32_t));
+    int32_t *gp_owner = (int32_t *)malloc((size_t)n_flat_ports * sizeof(int32_t));
+    Pool pool = {0};
+    Log dlog = {0};
+    Staged *staged = NULL;
+    int64_t staged_cap = 256, staged_len = 0;
+    staged = (Staged *)malloc((size_t)staged_cap * sizeof(Staged));
+
+    pool.cap = n_packets > 16 ? n_packets * 2 : 64;
+    pool.mask = (uint64_t *)malloc((size_t)pool.cap * sizeof(uint64_t));
+    pool.hops = (int32_t *)malloc((size_t)pool.cap * sizeof(int32_t));
+    pool.meta = (int32_t *)malloc((size_t)pool.cap * sizeof(int32_t));
+
+    if (!bufs || !qcount || !gp_owner || !staged || !pool.mask || !pool.hops || !pool.meta) {
+        res->status = 1;
+        goto cleanup;
+    }
+    for (int32_t i = 0; i < n_routers; i++) {
+        int32_t np = nports[i];
+        for (int32_t s = 0; s < np; s++) gp_owner[port_base[i] + s] = i;
+    }
+    for (int64_t k = 0; k < n_packets; k++) {
+        pool.mask[k] = pk_mask[k];
+        pool.hops[k] = 0;
+        pool.meta[k] = (int32_t)k;
+    }
+    pool.len = n_packets;
+
+    int64_t in_flight = 0;
+    int64_t pos = 0;
+    int64_t cycle = 0;
+    uint64_t busy = 0; /* routers with queued packets */
+
+    while (cycle <= deadline) {
+        if (pos < n_buckets && bucket_cycle[pos] == cycle) {
+            for (int64_t b = bucket_off[pos]; b < bucket_off[pos + 1]; b++) {
+                int32_t pid = bucket_pid[b];
+                int32_t gp = pk_srcgp[pid];
+                if (fifo_push(&bufs[gp], pid)) { res->status = 1; goto cleanup; }
+                int32_t r = gp_owner[gp];
+                qcount[r]++;
+                busy |= 1ULL << r;
+                in_flight++;
+            }
+            pos++;
+        }
+        if (!in_flight) {
+            if (pos >= n_buckets) break;
+            cycle = bucket_cycle[pos]; /* skip idle gap */
+            continue;
+        }
+
+        staged_len = 0;
+        uint64_t scan = busy;
+        while (scan) {
+            int32_t i = (int32_t)__builtin_ctzll(scan);
+            scan &= scan - 1;
+            int32_t np = nports[i];
+            int32_t base = port_base[i];
+            int32_t start = (int32_t)(cycle % np);
+            uint64_t ibit = 1ULL << i;
+            uint64_t outputs_used = 0;
+            int32_t ejections = 0;
+            int32_t d0 = deg_off[i];
+            for (int32_t k = 0; k < np; k++) {
+                int32_t slot = start + k;
+                if (slot >= np) slot -= np;
+                Fifo *dq = &bufs[base + slot];
+                if (!dq->len) continue;
+                int32_t pid = dq->a[dq->head];
+                uint64_t mask = pool.mask[pid];
+                uint64_t progressed = 0;
+
+                if (mask & ibit) {
+                    if (ejections < ej_max) {
+                        ejections++;
+                        if (log_push(&dlog, pool.meta[pid], i, cycle, pool.hops[pid])) {
+                            res->status = 1; goto cleanup;
+                        }
+                        progressed = ibit;
+                    }
+                    if (mask == ibit) {
+                        if (progressed) {
+                            fifo_pop(dq);
+                            qcount[i]--;
+                            in_flight--;
+                            if (!qcount[i]) busy &= ~ibit;
+                        }
+                        continue;
+                    }
+                }
+
+                int moved_whole = 0;
+                int32_t dend = deg_off[i + 1];
+                for (int32_t q = d0; q < dend; q++) {
+                    uint64_t g = mask & out_mask[q];
+                    if (!g) continue;
+                    int32_t nb = nbr[q];
+                    if ((outputs_used >> nb) & 1) continue;
+                    int32_t gp2 = out_gp[q];
+                    if (bufs[gp2].len >= capacity) continue; /* backpressure */
+                    int32_t npid;
+                    if (g == mask) {
+                        pool.hops[pid]++;
+                        npid = pid;
+                        moved_whole = 1;
+                    } else {
+                        npid = (int32_t)pool.len;
+                        if (pool_push(&pool, g, pool.hops[pid] + 1, pool.meta[pid])) {
+                            res->status = 1; goto cleanup;
+                        }
+                    }
+                    if (staged_len == staged_cap) {
+                        staged_cap *= 2;
+                        Staged *ns = (Staged *)realloc(staged, (size_t)staged_cap * sizeof(Staged));
+                        if (!ns) { res->status = 1; goto cleanup; }
+                        staged = ns;
+                    }
+                    staged[staged_len].gp = gp2;
+                    staged[staged_len].pid = npid;
+                    staged_len++;
+                    outputs_used |= 1ULL << nb;
+                    link_counts[out_eidx[q]]++;
+                    progressed |= g;
+                }
+                if (moved_whole) {
+                    fifo_pop(dq);
+                    qcount[i]--;
+                    in_flight--;
+                    if (!qcount[i]) busy &= ~ibit;
+                } else if (progressed) {
+                    uint64_t remaining = mask & ~progressed;
+                    if (remaining) {
+                        pool.mask[pid] = remaining;
+                    } else {
+                        fifo_pop(dq);
+                        qcount[i]--;
+                        in_flight--;
+                        if (!qcount[i]) busy &= ~ibit;
+                    }
+                }
+            }
+        }
+
+        for (int64_t s = 0; s < staged_len; s++) {
+            int32_t gp = staged[s].gp;
+            if (fifo_push(&bufs[gp], staged[s].pid)) { res->status = 1; goto cleanup; }
+            if (bufs[gp].len > peaks[gp]) peaks[gp] = bufs[gp].len;
+            int32_t r = gp_owner[gp];
+            qcount[r]++;
+            busy |= 1ULL << r;
+            in_flight++;
+        }
+        cycle++;
+    }
+
+    res->cycles_run = cycle;
+    res->d_meta = dlog.meta;
+    res->d_dst = dlog.dst;
+    res->d_cycle = dlog.cycle;
+    res->d_hops = dlog.hops;
+    res->d_len = dlog.len;
+    dlog.meta = NULL; dlog.dst = NULL; dlog.cycle = NULL; dlog.hops = NULL;
+
+cleanup:
+    if (bufs) {
+        for (int32_t g = 0; g < n_flat_ports; g++) free(bufs[g].a);
+        free(bufs);
+    }
+    free(qcount);
+    free(gp_owner);
+    free(pool.mask);
+    free(pool.hops);
+    free(pool.meta);
+    free(staged);
+    free(dlog.meta);
+    free(dlog.dst);
+    free(dlog.cycle);
+    free(dlog.hops);
+    return res;
+}

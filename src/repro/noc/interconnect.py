@@ -42,7 +42,10 @@ class NocConfig:
     least-occupied downstream buffer, Noxim's default; "first" =
     deterministic first candidate) — it is inert under deterministic
     routing; ``max_extra_cycles`` bounds post-injection drain time before
-    the simulation declares itself stuck.
+    the simulation declares itself stuck; ``backend`` selects the
+    simulation engine — "reference" is the object-per-packet oracle loop
+    in this module, "fast" is the table-driven vectorized engine in
+    :mod:`repro.noc.fastsim` (bit-identical under deterministic routing).
     """
 
     buffer_capacity: int = 8
@@ -50,6 +53,7 @@ class NocConfig:
     multicast: bool = True
     selection: str = "bufferlevel"
     max_extra_cycles: int = 200_000
+    backend: str = "reference"
 
     def __post_init__(self) -> None:
         if self.buffer_capacity < 1:
@@ -63,6 +67,56 @@ class NocConfig:
             )
         if self.max_extra_cycles < 1:
             raise ValueError("max_extra_cycles must be >= 1")
+        if self.backend not in ("reference", "fast"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; use 'reference' or 'fast'"
+            )
+
+
+def build_packet_schedule(
+    injections: Sequence[Injection], multicast: bool, stats: NocStats
+) -> Dict[int, List[SpikePacket]]:
+    """Expand injections into per-cycle packet lists (both backends).
+
+    Self-destinations are dropped; a multicast injection becomes one
+    packet carrying the whole destination set, a unicast one becomes one
+    packet per destination.  Injections without an explicit uid are
+    numbered after the largest uid seen so far, and ``stats`` gains the
+    injected/expected counters as a side effect.
+    """
+    schedule: Dict[int, List[SpikePacket]] = {}
+    next_uid = 0
+    for inj in injections:
+        dsts = frozenset(d for d in inj.dst_nodes if d != inj.src_node)
+        if not dsts:
+            continue
+        uid = inj.uid if inj.uid >= 0 else next_uid
+        next_uid = max(next_uid, uid) + 1
+        if multicast:
+            packets = [
+                SpikePacket(
+                    uid=uid,
+                    src_neuron=inj.src_neuron,
+                    src_node=inj.src_node,
+                    dst_nodes=dsts,
+                    injected_cycle=inj.cycle,
+                )
+            ]
+        else:
+            packets = [
+                SpikePacket(
+                    uid=uid,
+                    src_neuron=inj.src_neuron,
+                    src_node=inj.src_node,
+                    dst_nodes=frozenset([d]),
+                    injected_cycle=inj.cycle,
+                )
+                for d in sorted(dsts)
+            ]
+        stats.n_injected += 1
+        stats.n_expected_deliveries += len(dsts)
+        schedule.setdefault(inj.cycle, []).extend(packets)
+    return schedule
 
 
 class Interconnect:
@@ -120,39 +174,7 @@ class Interconnect:
     def _build_schedule(
         self, injections: Sequence[Injection], stats: NocStats
     ) -> Dict[int, List[SpikePacket]]:
-        schedule: Dict[int, List[SpikePacket]] = {}
-        next_uid = 0
-        for inj in injections:
-            dsts = frozenset(d for d in inj.dst_nodes if d != inj.src_node)
-            if not dsts:
-                continue
-            uid = inj.uid if inj.uid >= 0 else next_uid
-            next_uid = max(next_uid, uid) + 1
-            if self.config.multicast:
-                packets = [
-                    SpikePacket(
-                        uid=uid,
-                        src_neuron=inj.src_neuron,
-                        src_node=inj.src_node,
-                        dst_nodes=dsts,
-                        injected_cycle=inj.cycle,
-                    )
-                ]
-            else:
-                packets = [
-                    SpikePacket(
-                        uid=uid,
-                        src_neuron=inj.src_neuron,
-                        src_node=inj.src_node,
-                        dst_nodes=frozenset([d]),
-                        injected_cycle=inj.cycle,
-                    )
-                    for d in sorted(dsts)
-                ]
-            stats.n_injected += 1
-            stats.n_expected_deliveries += len(dsts)
-            schedule.setdefault(inj.cycle, []).extend(packets)
-        return schedule
+        return build_packet_schedule(injections, self.config.multicast, stats)
 
     def _step(self, cycle: int, active: set, stats: NocStats) -> None:
         staged: List[Tuple[int, int, SpikePacket]] = []  # (dst_router, from_node, pkt)

@@ -51,6 +51,22 @@ class TestOptimization:
         assert r1.best_fitness == r2.best_fitness
         assert np.array_equal(r1.best_assignment, r2.best_assignment)
 
+    def test_full_result_deterministic_given_seed(self, tiny_graph):
+        """Same seed → the same PSOResult twice, field for field.
+
+        Regression test for the repair RNG fix: repair used to draw
+        from the shared swarm stream, so *which* particles needed
+        repair changed how much randomness later particles saw.  The
+        whole trajectory — not just the final best — must now repeat.
+        """
+        r1 = _pso(tiny_graph, n_particles=12, n_iterations=15).optimize()
+        r2 = _pso(tiny_graph, n_particles=12, n_iterations=15).optimize()
+        assert r1.best_fitness == r2.best_fitness
+        assert np.array_equal(r1.best_assignment, r2.best_assignment)
+        assert np.array_equal(r1.history, r2.history)
+        assert r1.n_iterations_run == r2.n_iterations_run
+        assert r1.n_evaluations == r2.n_evaluations
+
     def test_evaluation_count(self, tiny_graph):
         result = _pso(tiny_graph, n_particles=10, n_iterations=5).optimize()
         assert result.n_evaluations == 50
@@ -69,6 +85,36 @@ class TestWarmStart:
             initial_assignments=np.array([0, 0, 0, 0, 1, 1, 1, 1])
         )
         assert result.best_fitness <= 5.0
+
+
+class TestRepairIndependence:
+    def test_repair_of_one_particle_cannot_couple_others(self, tiny_graph):
+        """Whether particle 0 needs repair must not change particle 1's.
+
+        Two identical optimizers repair two batches that differ only in
+        particle 0 (feasible vs infeasible); every other particle's
+        repaired row must come out identical.
+        """
+        def fresh():
+            return BinaryPSO(
+                InterconnectFitness(tiny_graph),
+                n_neurons=8, n_clusters=2, capacity=4,
+                config=PSOConfig(n_particles=4, n_iterations=1),
+                seed=123,
+            )
+
+        feasible_row = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        overfull_row = np.array([0, 0, 0, 0, 0, 0, 0, 0])
+        rest = np.array([
+            [0, 0, 0, 1, 1, 0, 0, 0],   # overfull: needs repair
+            [1, 1, 1, 1, 1, 0, 0, 1],   # overfull: needs repair
+        ])
+        batch_a = np.vstack([feasible_row, rest]).astype(np.int64)
+        batch_b = np.vstack([overfull_row, rest]).astype(np.int64)
+
+        repaired_a = fresh()._repair_batch(batch_a.copy())
+        repaired_b = fresh()._repair_batch(batch_b.copy())
+        assert np.array_equal(repaired_a[1:], repaired_b[1:])
 
 
 class TestBinarizationModes:

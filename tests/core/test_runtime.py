@@ -76,6 +76,83 @@ class TestRemapEpoch:
         )
 
 
+class TestEdgeCases:
+    def test_zero_budget_is_noop_epoch(self, tiny_graph):
+        """budget=0 observes and audits but may not move anything."""
+        bad = [0, 1, 0, 1, 0, 1, 0, 1]
+        rm = _remapper(tiny_graph, bad, migration_budget=0)
+        before = rm.fitness()
+        epoch = rm.remap_epoch()
+        assert epoch.n_migrations == 0
+        assert epoch.moves == []
+        assert epoch.fitness_before == before
+        assert epoch.fitness_after == before
+        assert epoch.improvement == 0.0
+        assert np.array_equal(rm.assignment, np.asarray(bad))
+        assert len(rm.history) == 1  # the dry-run epoch is still audited
+
+    def test_moves_into_full_crossbars_rejected(self):
+        """With every crossbar full, single moves are infeasible.
+
+        Neurons 0 and 2 want to swap sides (heavy 0<->2 traffic) but
+        both clusters sit at capacity, so a budget of 1 — too small for
+        a swap — must yield a no-move epoch and an unchanged, feasible
+        assignment.
+        """
+        src = [0, 2, 1, 3]
+        dst = [2, 0, 3, 1]
+        traffic = np.array([80.0, 80.0, 1.0, 1.0])
+        g = SpikeGraph.from_edges(4, src, dst, traffic)
+        rm = RuntimeRemapper(
+            g, n_clusters=2, capacity=2,
+            assignment=np.array([0, 0, 1, 1]),
+            migration_budget=1,
+        )
+        epoch = rm.remap_epoch()
+        assert epoch.n_migrations == 0
+        assert np.array_equal(rm.assignment, np.array([0, 0, 1, 1]))
+        assert is_feasible(rm.assignment, 2, 2)
+
+    def test_budget_two_allows_the_blocked_swap(self):
+        """The same blocked exchange goes through once a swap fits."""
+        src = [0, 2, 1, 3]
+        dst = [2, 0, 3, 1]
+        traffic = np.array([80.0, 80.0, 1.0, 1.0])
+        g = SpikeGraph.from_edges(4, src, dst, traffic)
+        rm = RuntimeRemapper(
+            g, n_clusters=2, capacity=2,
+            assignment=np.array([0, 0, 1, 1]),
+            migration_budget=2,
+        )
+        epoch = rm.remap_epoch()
+        assert epoch.n_migrations == 2
+        assert epoch.improvement > 0
+        assert is_feasible(rm.assignment, 2, 2)
+
+    def test_epoch_gains_sum_to_fitness_delta(self, tiny_graph):
+        """Audit invariant: per-epoch gains add up to the fitness drop."""
+        rm = _remapper(tiny_graph, [0, 1, 0, 1, 0, 1, 0, 1],
+                       migration_budget=3)
+        initial = rm.fitness()
+        for _ in range(4):
+            epoch = rm.remap_epoch()
+            assert epoch.improvement == pytest.approx(
+                sum(m.gain for m in epoch.moves)
+            )
+            assert epoch.fitness_after == pytest.approx(
+                epoch.fitness_before - epoch.improvement
+            )
+        total_gain = sum(
+            m.gain for e in rm.history for m in e.moves
+        )
+        assert initial - rm.fitness() == pytest.approx(total_gain)
+
+    def test_negative_budget_rejected(self, tiny_graph):
+        with pytest.raises(ValueError, match="non-negative"):
+            _remapper(tiny_graph, [0, 0, 0, 0, 1, 1, 1, 1],
+                      migration_budget=-1)
+
+
 class TestTrafficDrift:
     def test_observe_traffic_changes_optimum(self):
         """When traffic shifts, the remapper follows it.

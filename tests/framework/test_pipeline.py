@@ -32,6 +32,31 @@ class TestRunPipeline:
         )
         assert result.noc_stats.undelivered_count == 0
 
+    def test_fast_backend_end_to_end_matches_reference(
+        self, tiny_graph, two_cluster_arch
+    ):
+        """The whole pipeline agrees between backends, report included."""
+        ref = run_pipeline(tiny_graph, two_cluster_arch, method="pacman",
+                           noc_config=NocConfig(backend="reference"))
+        fast = run_pipeline(tiny_graph, two_cluster_arch, method="pacman",
+                            noc_config=NocConfig(backend="fast"))
+        assert ref.noc_stats.delivered_count == fast.noc_stats.delivered_count
+        assert ref.noc_stats.cycles_run == fast.noc_stats.cycles_run
+        assert ref.noc_stats.link_loads == fast.noc_stats.link_loads
+        ref_records = [
+            (r.uid, r.dst_node, r.delivered_cycle, r.hops)
+            for r in ref.noc_stats.deliveries
+        ]
+        fast_records = [
+            (r.uid, r.dst_node, r.delivered_cycle, r.hops)
+            for r in fast.noc_stats.deliveries
+        ]
+        assert ref_records == fast_records
+        assert ref.report.max_latency_cycles == fast.report.max_latency_cycles
+        assert ref.report.global_energy_pj == pytest.approx(
+            fast.report.global_energy_pj
+        )
+
     def test_pso_method(self, tiny_graph, two_cluster_arch):
         result = run_pipeline(
             tiny_graph, two_cluster_arch, method="pso", seed=0,

@@ -1,0 +1,312 @@
+"""Cross-backend equivalence: fast backend vs the reference oracle.
+
+The fast backend (:mod:`repro.noc.fastsim`, both its pure-Python engine
+and the optional compiled kernel) promises *bit-identical* results to
+the reference loop under deterministic routing: the same delivery
+records, cycle counts, link loads and peak buffer occupancies.  Under
+adaptive routing it promises reproducibility and statistical
+equivalence.  This suite pins both promises over mesh/torus topologies,
+unicast/multicast traffic and tight/roomy buffers, and adds hypothesis
+property tests that the fast backend always drains feasible schedules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.fastsim import (
+    FastInterconnect,
+    build_interconnect,
+    simulate_many,
+)
+from repro.noc.interconnect import Interconnect, NocConfig
+from repro.noc.packet import Injection
+from repro.noc.routing import west_first_routing
+from repro.noc.topology import build_topology, mesh
+from repro.noc.traffic import synthetic_injections
+
+
+def record_tuples(stats):
+    """Delivery records as plain tuples, in delivery order."""
+    return [
+        (r.uid, r.src_neuron, r.src_node, r.dst_node, r.injected_cycle,
+         r.delivered_cycle, r.hops)
+        for r in stats.deliveries
+    ]
+
+
+def assert_identical(ref_stats, fast_stats):
+    """Bit-for-bit equivalence of everything the metrics layer consumes."""
+    assert record_tuples(ref_stats) == record_tuples(fast_stats)
+    assert ref_stats.cycles_run == fast_stats.cycles_run
+    assert ref_stats.link_loads == fast_stats.link_loads
+    assert ref_stats.peak_buffer_occupancy == fast_stats.peak_buffer_occupancy
+    assert ref_stats.n_injected == fast_stats.n_injected
+    assert (
+        ref_stats.n_expected_deliveries == fast_stats.n_expected_deliveries
+    )
+    assert ref_stats.undelivered_count == fast_stats.undelivered_count
+
+
+def run_both(topo, injections, **config_kwargs):
+    ref = Interconnect(
+        topo, config=NocConfig(**config_kwargs)
+    ).simulate(injections)
+    fast = FastInterconnect(
+        topo, config=NocConfig(backend="fast", **config_kwargs)
+    ).simulate(injections)
+    return ref, fast
+
+
+class TestDeterministicBitIdentical:
+    """The headline contract: the fast backend IS the reference."""
+
+    @pytest.mark.parametrize("kind", ["mesh", "torus"])
+    @pytest.mark.parametrize("multicast", [True, False])
+    @pytest.mark.parametrize("buffer_capacity", [1, 8])
+    def test_matrix(self, kind, multicast, buffer_capacity):
+        topo = build_topology(kind, 9)
+        schedule = synthetic_injections(
+            [0.3] * 9, topo, 150, fanout=3, seed=42
+        )
+        ref, fast = run_both(
+            topo,
+            schedule.injections,
+            multicast=multicast,
+            buffer_capacity=buffer_capacity,
+        )
+        assert_identical(ref, fast)
+
+    @pytest.mark.parametrize("kind", ["tree", "star"])
+    def test_other_topology_families(self, kind):
+        topo = build_topology(kind, 8)
+        schedule = synthetic_injections([0.4] * 8, topo, 120, fanout=2, seed=3)
+        ref, fast = run_both(topo, schedule.injections)
+        assert_identical(ref, fast)
+
+    def test_multi_ejection_budget(self):
+        topo = build_topology("mesh", 9)
+        schedule = synthetic_injections([0.5] * 9, topo, 100, fanout=4, seed=1)
+        ref, fast = run_both(
+            topo, schedule.injections, ejections_per_cycle=3
+        )
+        assert_identical(ref, fast)
+
+    def test_deadline_capped_run_matches(self):
+        """Undelivered accounting matches when the drain budget is tiny."""
+        topo = build_topology("tree", 4)
+        schedule = synthetic_injections([0.9] * 4, topo, 50, fanout=3, seed=5)
+        ref, fast = run_both(topo, schedule.injections, max_extra_cycles=1)
+        assert ref.undelivered_count > 0  # the cap must actually bite
+        assert_identical(ref, fast)
+
+    def test_python_engine_without_compiled_kernel(self):
+        """The pure-Python engine honors the same contract as the kernel."""
+        topo = build_topology("mesh", 9)
+        schedule = synthetic_injections([0.4] * 9, topo, 100, fanout=3, seed=8)
+        fast = FastInterconnect(topo, config=NocConfig(backend="fast"))
+        ref_stats = Interconnect(topo).simulate(schedule.injections)
+        if fast._ck is not None:
+            kernel_stats = fast.simulate(schedule.injections)
+            assert_identical(ref_stats, kernel_stats)
+        fast._ck = None  # force the pure-Python engine
+        assert_identical(ref_stats, fast.simulate(schedule.injections))
+
+    def test_empty_schedule(self):
+        topo = build_topology("mesh", 4)
+        ref, fast = run_both(topo, [])
+        assert_identical(ref, fast)
+        assert fast.cycles_run == 0
+
+    def test_idle_gap_fast_forward(self):
+        topo = build_topology("tree", 4)
+        injections = [
+            Injection(cycle=0, src_node=0, dst_nodes=(3,), src_neuron=0),
+            Injection(cycle=1_000_000, src_node=0, dst_nodes=(3,), src_neuron=0),
+        ]
+        ref, fast = run_both(topo, injections)
+        assert_identical(ref, fast)
+
+
+class TestAdaptiveStatisticalEquivalence:
+    """Adaptive selection: same deliveries, reproducible, close latency."""
+
+    def _stats_pair(self, selection):
+        topo = mesh(4)
+        schedule = synthetic_injections(
+            [0.4] * 16, topo, 120, fanout=3, seed=11
+        )
+        ref = Interconnect(
+            topo,
+            routing=west_first_routing(topo),
+            config=NocConfig(selection=selection),
+        ).simulate(schedule.injections)
+        fast = FastInterconnect(
+            topo,
+            routing=west_first_routing(topo),
+            config=NocConfig(selection=selection, backend="fast"),
+        ).simulate(schedule.injections)
+        return ref, fast
+
+    def test_bufferlevel_same_delivery_set(self):
+        ref, fast = self._stats_pair("bufferlevel")
+        assert ref.undelivered_count == 0
+        assert fast.undelivered_count == 0
+        assert sorted(
+            (r.uid, r.dst_node) for r in ref.deliveries
+        ) == sorted((r.uid, r.dst_node) for r in fast.deliveries)
+
+    def test_bufferlevel_latency_close(self):
+        ref, fast = self._stats_pair("bufferlevel")
+        assert fast.mean_latency() == pytest.approx(
+            ref.mean_latency(), rel=0.15, abs=2.0
+        )
+
+    def test_first_selection_is_bit_identical(self):
+        """selection='first' is deterministic even on adaptive tables."""
+        ref, fast = self._stats_pair("first")
+        assert_identical(ref, fast)
+
+    def test_fast_adaptive_reproducible(self):
+        topo = mesh(3)
+        schedule = synthetic_injections([0.5] * 9, topo, 80, fanout=2, seed=2)
+        runs = [
+            FastInterconnect(
+                topo,
+                routing=west_first_routing(topo),
+                config=NocConfig(selection="bufferlevel", backend="fast"),
+            ).simulate(schedule.injections)
+            for _ in range(2)
+        ]
+        assert record_tuples(runs[0]) == record_tuples(runs[1])
+
+
+class TestBatchApi:
+    def test_simulate_many_matches_singles(self):
+        topo = build_topology("mesh", 9)
+        schedules = [
+            synthetic_injections([0.3] * 9, topo, 60, fanout=2, seed=s).injections
+            for s in range(4)
+        ]
+        fast = FastInterconnect(topo, config=NocConfig(backend="fast"))
+        batch = fast.simulate_many(schedules)
+        for injections, stats in zip(schedules, batch):
+            single = Interconnect(topo).simulate(injections)
+            assert_identical(single, stats)
+
+    def test_module_level_simulate_many(self):
+        topo = build_topology("tree", 4)
+        schedules = [
+            synthetic_injections([0.4] * 4, topo, 40, fanout=2, seed=s).injections
+            for s in range(3)
+        ]
+        batch = simulate_many(topo, schedules)
+        assert len(batch) == 3
+        for stats in batch:
+            assert stats.undelivered_count == 0
+
+
+class TestFactory:
+    def test_backend_selection(self):
+        topo = build_topology("mesh", 4)
+        assert isinstance(build_interconnect(topo), Interconnect)
+        assert isinstance(
+            build_interconnect(topo, config=NocConfig(backend="fast")),
+            FastInterconnect,
+        )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            NocConfig(backend="warp")
+
+    def test_fast_stats_lazy_deliveries_consistent(self):
+        """Aggregates read before materialization must agree with records."""
+        topo = build_topology("mesh", 9)
+        schedule = synthetic_injections([0.4] * 9, topo, 80, fanout=2, seed=6)
+        stats = build_interconnect(
+            topo, config=NocConfig(backend="fast")
+        ).simulate(schedule.injections)
+        count = stats.delivered_count          # columns only
+        latencies = stats.latencies()          # columns only
+        records = stats.deliveries             # materializes
+        assert count == len(records)
+        assert np.array_equal(
+            latencies,
+            np.asarray(
+                [r.delivered_cycle - r.injected_cycle for r in records]
+            ),
+        )
+
+
+# -- property tests -----------------------------------------------------------
+
+
+@st.composite
+def traffic_scenarios(draw):
+    kind = draw(st.sampled_from(["tree", "mesh", "star", "torus"]))
+    n_crossbars = draw(st.integers(min_value=2, max_value=8))
+    topo = build_topology(kind, n_crossbars)
+    n_packets = draw(st.integers(min_value=1, max_value=30))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    nodes = [topo.node_of_crossbar(k) for k in range(n_crossbars)]
+    injections = []
+    for uid in range(n_packets):
+        src_k = int(rng.integers(0, n_crossbars))
+        n_dst = int(rng.integers(1, n_crossbars))
+        dst_ks = rng.choice(
+            [k for k in range(n_crossbars) if k != src_k],
+            size=min(n_dst, n_crossbars - 1),
+            replace=False,
+        )
+        injections.append(
+            Injection(
+                cycle=int(rng.integers(0, 50)),
+                src_node=nodes[src_k],
+                dst_nodes=tuple(sorted(nodes[int(k)] for k in dst_ks)),
+                src_neuron=src_k,
+                uid=uid,
+            )
+        )
+    multicast = draw(st.booleans())
+    buffer_capacity = draw(st.integers(min_value=1, max_value=8))
+    return topo, injections, NocConfig(
+        multicast=multicast, buffer_capacity=buffer_capacity, backend="fast"
+    )
+
+
+@given(traffic_scenarios())
+@settings(max_examples=50, deadline=None)
+def test_fast_backend_always_drains_feasible_schedules(scenario):
+    """No feasible schedule may ever report undelivered packets."""
+    topo, injections, config = scenario
+    stats = FastInterconnect(topo, config=config).simulate(injections)
+    assert stats.undelivered_count == 0
+    assert stats.delivered_count == stats.n_expected_deliveries
+
+
+@given(traffic_scenarios())
+@settings(max_examples=25, deadline=None)
+def test_fast_backend_matches_reference_on_random_scenarios(scenario):
+    """Bit-for-bit against the oracle on arbitrary feasible traffic."""
+    topo, injections, config = scenario
+    ref = Interconnect(
+        topo,
+        config=NocConfig(
+            multicast=config.multicast,
+            buffer_capacity=config.buffer_capacity,
+        ),
+    ).simulate(injections)
+    fast = FastInterconnect(topo, config=config).simulate(injections)
+    assert_identical(ref, fast)
+
+
+@given(traffic_scenarios())
+@settings(max_examples=25, deadline=None)
+def test_fast_backend_respects_buffer_capacity(scenario):
+    topo, injections, config = scenario
+    stats = FastInterconnect(topo, config=config).simulate(injections)
+    assert stats.peak_buffer_occupancy <= config.buffer_capacity
