@@ -16,8 +16,6 @@ Expected shapes:
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core import PSOConfig, map_snn
 from repro.hardware.presets import custom
 from repro.metrics.congestion import congestion_report

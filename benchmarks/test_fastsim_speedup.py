@@ -25,8 +25,6 @@ import os
 import timeit
 from typing import Dict
 
-import pytest
-
 from repro.core.mapper import map_snn
 from repro.hardware.presets import architecture_for
 from repro.noc.fastsim import FastInterconnect

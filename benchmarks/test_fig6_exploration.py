@@ -14,8 +14,6 @@ mapping with PSO at each point and measuring on the NoC.  Expected shape
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core import PSOConfig
 from repro.framework.exploration import explore_architecture
 from repro.hardware.presets import custom

@@ -1,0 +1,133 @@
+"""Sharded vs serial swarm scoring (`repro.noc.parallel`).
+
+Scores the same swarm of candidate placements — hello_world mapped onto
+a CxQuad-style tree with random assignments, each expanded to its AER
+injection schedule — twice: serially through
+``FastInterconnect.simulate_many`` and sharded across a process pool
+through ``ParallelNocSimulator.summarize_many``.  Checks:
+
+- the sharded summaries are **bit-identical** to serial execution (the
+  reassembly-by-index contract);
+- on a machine with 4+ cores running 4+ workers, sharded scoring is at
+  least 2x faster in steady state (pool warmed; the paper-scale use
+  case is PSO calling this every generation, so startup amortizes away).
+
+Worker count comes from ``PARALLEL_WORKERS`` (default: one per CPU,
+capped at 4; always at least 2 so the pool path is exercised even on
+small runners).  Set ``PARALLEL_REPORT_PATH`` to also write the
+measurements as JSON (uploaded as a CI artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.hardware.presets import architecture_for
+from repro.noc.fastsim import FastInterconnect
+from repro.noc.interconnect import NocConfig
+from repro.noc.parallel import ParallelNocSimulator, summarize
+from repro.noc.traffic import build_injections
+
+N_SCHEDULES = 48
+#: Tight link buffers congest the fabric, so each schedule simulates for
+#: much longer than it takes to pickle — the regime where sharding wins.
+NOC_CONFIG = NocConfig(backend="fast", buffer_capacity=2)
+
+
+def _swarm_workload(graph):
+    """A swarm of random feasible placements, expanded to schedules."""
+    per_xbar = max(16, -(-graph.n_neurons // 6))
+    arch = architecture_for(
+        graph.n_neurons,
+        neurons_per_crossbar=per_xbar,
+        interconnect="tree",
+        name=graph.name,
+    )
+    topology = arch.build_topology()
+    rng = np.random.default_rng(2018)
+    schedules = [
+        build_injections(
+            graph,
+            rng.integers(0, topology.n_attach_points, size=graph.n_neurons),
+            topology,
+            cycles_per_ms=arch.cycles_per_ms,
+        ).injections
+        for _ in range(N_SCHEDULES)
+    ]
+    return topology, schedules
+
+
+def test_parallel_speedup_on_swarm_scoring(benchmark, hello_world_graph):
+    topology, schedules = _swarm_workload(hello_world_graph)
+    cpu_count = os.cpu_count() or 1
+    workers = int(os.environ.get("PARALLEL_WORKERS", max(2, min(4, cpu_count))))
+    workers = max(2, workers)
+
+    serial_sim = FastInterconnect(topology, config=NOC_CONFIG)
+    t0 = time.perf_counter()
+    serial = [summarize(s) for s in serial_sim.simulate_many(schedules)]
+    serial_s = time.perf_counter() - t0
+
+    with ParallelNocSimulator(serial_sim, workers=workers) as sharded_sim:
+        # Warm the pool (process startup + per-worker table build), then
+        # measure steady-state scoring: the PSO loop re-scores a swarm
+        # every generation against a long-lived pool.
+        t0 = time.perf_counter()
+        warmup = sharded_sim.summarize_many(schedules[:workers])
+        startup_s = time.perf_counter() - t0
+        pool_started = sharded_sim._pool is not None
+
+        t0 = time.perf_counter()
+        sharded = sharded_sim.summarize_many(schedules)
+        parallel_s = time.perf_counter() - t0
+
+    assert warmup == serial[:workers]
+    assert sharded == serial, "sharded swarm scoring diverged from serial execution"
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+
+    suffix = "" if pool_started else ", pool unavailable -> serial fallback"
+    print()
+    print(
+        f"swarm scoring, {N_SCHEDULES} schedules: "
+        f"serial {serial_s * 1e3:.0f}ms, "
+        f"{workers} workers {parallel_s * 1e3:.0f}ms "
+        f"({speedup:.2f}x, pool startup {startup_s * 1e3:.0f}ms, "
+        f"{cpu_count} CPUs{suffix})"
+    )
+
+    report_path = os.environ.get("PARALLEL_REPORT_PATH")
+    if report_path:
+        with open(report_path, "w") as fh:
+            json.dump(
+                {
+                    "n_schedules": N_SCHEDULES,
+                    "workers": workers,
+                    "cpu_count": cpu_count,
+                    "kernel_active": serial_sim._ck is not None,
+                    "pool_started": pool_started,
+                    "serial_s": serial_s,
+                    "parallel_s": parallel_s,
+                    "startup_s": startup_s,
+                    "speedup": speedup,
+                    "bit_identical": sharded == serial,
+                },
+                fh,
+                indent=2,
+            )
+
+    # The scaling claim needs real cores to stand on; smaller runners
+    # (and the serial-fallback path) only check equivalence above.
+    if pool_started and cpu_count >= 4 and workers >= 4:
+        assert speedup >= 2.0, (
+            f"sharded scoring only {speedup:.2f}x faster with {workers} "
+            f"workers on {cpu_count} CPUs (acceptance floor is 2x)"
+        )
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["cpu_count"] = cpu_count

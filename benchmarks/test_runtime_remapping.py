@@ -13,8 +13,6 @@ mapping a few migrations per epoch.  Expected shapes:
 
 from __future__ import annotations
 
-import pytest
-
 from repro.apps.heartbeat import (
     build_heartbeat_network,
     level_crossing_encode,

@@ -25,10 +25,10 @@ Quickstart
 True
 """
 
-__version__ = "1.0.0"
-
 from repro.core.mapper import MappingResult, compare_methods, map_snn
 from repro.framework.pipeline import PipelineResult, run_pipeline
+
+__version__ = "1.0.0"
 
 __all__ = [
     "__version__",

@@ -9,8 +9,6 @@ regime the paper's Fig. 5/Table II evaluates it in.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.snn.generators import PoissonSource
 from repro.snn.graph import SpikeGraph
 from repro.snn.network import Network

@@ -15,8 +15,6 @@ trade-off directly:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
-
 import numpy as np
 
 from repro.core.fitness import InterconnectFitness

@@ -21,7 +21,10 @@ as options (all default off, matching the paper):
   faithful objective the system has: it sees buffering, arbitration and
   multicast forking, not just traffic counts.  Swarm batches run through
   :meth:`~repro.noc.fastsim.FastInterconnect.simulate_many`, which
-  amortizes the routing tables across the whole swarm.
+  amortizes the routing tables across the whole swarm, and with
+  ``workers > 1`` the batch is sharded across worker processes
+  (:class:`~repro.noc.parallel.ParallelNocSimulator`) with bit-identical
+  results.
 """
 
 from __future__ import annotations
@@ -63,6 +66,13 @@ class InterconnectFitness:
         forced to "fast".
     cycles_per_ms:
         Spike-time to NoC-cycle conversion for ``noc_in_loop`` mode.
+    workers:
+        Worker processes for ``noc_in_loop`` batch scoring: ``1``
+        (default) keeps the serial in-process path, ``0`` or ``"auto"``
+        uses one worker per CPU.  Results are bit-identical either way;
+        if the pool cannot start (sandboxed CI), scoring falls back to
+        serial with a warning.  Call :meth:`close` (or use the instance
+        as a context manager) to release the pool.
     """
 
     def __init__(
@@ -76,6 +86,7 @@ class InterconnectFitness:
         noc_metric: str = "hops",
         noc_config=None,
         cycles_per_ms: float = 10.0,
+        workers=1,
     ) -> None:
         self.graph = graph
         self.matrix = TrafficMatrix(graph)
@@ -98,15 +109,32 @@ class InterconnectFitness:
         self.cycles_per_ms = cycles_per_ms
         self._hop_matrix: Optional[np.ndarray] = None
         self._noc = None
+        self._parallel = None
         if noc_in_loop:
             import dataclasses
 
             from repro.noc.fastsim import FastInterconnect
             from repro.noc.interconnect import NocConfig
+            from repro.noc.parallel import resolve_workers
 
             base = noc_config if noc_config is not None else NocConfig()
             cfg = dataclasses.replace(base, backend="fast")
             self._noc = FastInterconnect(topology, routing, cfg)
+            self.workers = resolve_workers(workers)
+        else:
+            self.workers = 1
+
+    def close(self) -> None:
+        """Release the worker pool, if batch scoring ever started one."""
+        if self._parallel is not None:
+            self._parallel.close()
+            self._parallel = None
+
+    def __enter__(self) -> "InterconnectFitness":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- single assignment ------------------------------------------------------
 
@@ -194,14 +222,21 @@ class InterconnectFitness:
 
     # -- NoC-in-the-loop variant ------------------------------------------------
 
-    def _score(self, stats) -> float:
+    def _score(self, summary) -> float:
+        """Objective from a :class:`~repro.noc.parallel.ScheduleSummary`.
+
+        Integer-exact inputs (hop totals, latency sums, delivery counts)
+        make this bit-identical whether the summary came from the serial
+        path or from a worker process.
+        """
         if self.noc_metric == "latency":
-            value = stats.mean_latency()
+            value = summary.mean_latency
         else:
-            value = float(stats.total_hops())
-        return value + UNDELIVERED_PENALTY * stats.undelivered_count
+            value = float(summary.total_hops)
+        return value + UNDELIVERED_PENALTY * summary.undelivered
 
     def _simulate_one(self, assignment: np.ndarray) -> float:
+        from repro.noc.parallel import summarize
         from repro.noc.traffic import build_injections
 
         self._check_clusters(assignment)
@@ -209,9 +244,10 @@ class InterconnectFitness:
             self.graph, assignment, self.topology,
             cycles_per_ms=self.cycles_per_ms,
         )
-        return self._score(self._noc.simulate(schedule.injections))
+        return self._score(summarize(self._noc.simulate(schedule.injections)))
 
     def _simulate_batch(self, assignments: np.ndarray) -> np.ndarray:
+        from repro.noc.parallel import ParallelNocSimulator, summarize
         from repro.noc.traffic import build_injections
 
         self._check_clusters(assignments)
@@ -222,7 +258,16 @@ class InterconnectFitness:
             ).injections
             for row in assignments
         ]
+        if self.workers > 1:
+            if self._parallel is None:
+                self._parallel = ParallelNocSimulator(
+                    self._noc, workers=self.workers
+                )
+            summaries = self._parallel.summarize_many(schedules)
+        else:
+            summaries = [
+                summarize(s) for s in self._noc.simulate_many(schedules)
+            ]
         return np.asarray(
-            [self._score(s) for s in self._noc.simulate_many(schedules)],
-            dtype=np.float64,
+            [self._score(s) for s in summaries], dtype=np.float64
         )

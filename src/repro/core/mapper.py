@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -84,6 +84,8 @@ def map_snn(
     warm_start: bool = True,
     placement: bool = True,
     objective: str = "packets",
+    workers=1,
+    noc_config=None,
     **kwargs,
 ) -> MappingResult:
     """Partition ``graph`` onto ``architecture`` with the chosen method.
@@ -109,7 +111,19 @@ def map_snn(
         the modeled hardware; ``"spikes"`` is the paper's literal Eq. 8
         per-synapse count.  The two coincide when each neuron has at most
         one remote target crossbar; the fitness-ablation bench compares
-        them.
+        them.  ``"noc"`` scores every particle by cycle-accurate NoC
+        simulation (fast backend, hop metric) — the most faithful and
+        most expensive objective; pair it with ``workers`` to shard the
+        swarm across processes.
+    workers:
+        Worker processes for the ``"noc"`` objective's swarm scoring
+        (``1`` = serial, ``0``/``"auto"`` = one per CPU; ignored by the
+        closed-form objectives, which are already vectorized).
+    noc_config:
+        Interconnect parameters the ``"noc"`` objective simulates under
+        (backend forced to "fast").  Pass the same config the final
+        mapping will be measured with, so the swarm optimizes the fabric
+        it is judged on; ``run_pipeline`` forwards its own.
     kwargs:
         Forwarded to the underlying baseline (e.g. annealing config).
     """
@@ -118,16 +132,34 @@ def map_snn(
     architecture.require_fits(graph.n_neurons)
     c, nc = architecture.n_crossbars, architecture.neurons_per_crossbar
 
-    if objective not in ("packets", "spikes"):
+    if objective not in ("packets", "spikes", "noc"):
         raise ValueError(
-            f"unknown objective {objective!r}; use 'packets' or 'spikes'"
+            f"unknown objective {objective!r}; use 'packets', 'spikes' "
+            "or 'noc'"
+        )
+    if objective == "noc" and method != "pso":
+        # The structural baselines have no objective to swap in; letting
+        # them run would label heuristic results as NoC-in-the-loop ones.
+        raise ValueError(
+            "objective='noc' is only supported by method='pso' "
+            f"(got method={method!r})"
         )
     start = time.perf_counter()
     extras: Dict[str, object] = {}
     if method == "pso":
-        fitness = InterconnectFitness(
-            graph, count_packets=(objective == "packets")
-        )
+        if objective == "noc":
+            fitness = InterconnectFitness(
+                graph,
+                noc_in_loop=True,
+                topology=architecture.build_topology(),
+                cycles_per_ms=architecture.cycles_per_ms,
+                noc_config=noc_config,
+                workers=workers,
+            )
+        else:
+            fitness = InterconnectFitness(
+                graph, count_packets=(objective == "packets")
+            )
         move_cost = graph.neuron_out_traffic()
         in_traffic = np.bincount(
             graph.dst, weights=graph.traffic, minlength=graph.n_neurons
@@ -149,7 +181,10 @@ def map_snn(
             except ValueError:
                 pass  # greedy can be skipped if packing is degenerate
             initial = np.stack(seeds)
-        result = pso.optimize(initial_assignments=initial)
+        try:
+            result = pso.optimize(initial_assignments=initial)
+        finally:
+            fitness.close()
         partition = result.partition(c, nc)
         extras["history"] = result.history
         extras["n_evaluations"] = result.n_evaluations
@@ -169,7 +204,10 @@ def map_snn(
     else:  # annealing
         partition = annealing_partition(graph, c, nc, seed=seed, **kwargs)
 
-    if placement and c > 1:
+    # The "noc" objective already optimizes against real attach-point
+    # positions, so the closed-form placement pass would permute (and
+    # potentially undo) the simulated optimum; skip it there.
+    if placement and c > 1 and not (method == "pso" and objective == "noc"):
         matrix = cluster_traffic(graph, partition.assignment, c)
         topology = architecture.build_topology()
         perm = place_clusters(matrix, topology)
@@ -207,11 +245,27 @@ def compare_methods(
     methods: tuple = ("neutrams", "pacman", "pso"),
     seed: SeedLike = None,
     pso_config: Optional[PSOConfig] = None,
+    objective: str = "packets",
+    workers=1,
+    noc_config=None,
 ) -> Dict[str, MappingResult]:
-    """Run several partitioners on the same problem (Fig. 5 style)."""
+    """Run several partitioners on the same problem (Fig. 5 style).
+
+    The ``"noc"`` objective only applies to PSO, so it restricts
+    ``methods`` to ``("pso",)`` — mixing NoC-scored and structural
+    results in one table would be apples-to-oranges.
+    """
+    if objective == "noc":
+        rejected = [m for m in methods if m != "pso"]
+        if rejected:
+            raise ValueError(
+                "objective='noc' is only supported by method='pso'; "
+                f"drop {rejected} from methods or use objective='packets'"
+            )
     return {
         m: map_snn(
-            graph, architecture, method=m, seed=seed, pso_config=pso_config
+            graph, architecture, method=m, seed=seed, pso_config=pso_config,
+            objective=objective, workers=workers, noc_config=noc_config,
         )
         for m in methods
     }

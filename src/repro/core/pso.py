@@ -23,7 +23,7 @@ assign a neuron to two crossbars, so no penalty terms are needed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Union
 
 import numpy as np
@@ -96,8 +96,12 @@ class BinaryPSO:
     Parameters
     ----------
     fitness:
-        An :class:`InterconnectFitness` or any callable mapping a (P, N)
-        batch of assignments to (P,) objective values (lower = better).
+        An :class:`InterconnectFitness` (or any object exposing
+        ``evaluate_batch``) or a bare callable mapping a (P, N) batch of
+        assignments to (P,) objective values (lower = better).  A
+        noc-in-the-loop fitness constructed with ``workers > 1``
+        transparently shards every generation's batch across worker
+        processes; the swarm sees identical fitness vectors either way.
     n_neurons, n_clusters, capacity:
         Problem dimensions (Eqs. 4-5 constraints).
     move_cost:
@@ -131,8 +135,9 @@ class BinaryPSO:
         self.config = config if config is not None else PSOConfig()
         self.move_cost = move_cost
         self.rng = default_rng(seed)
-        if isinstance(fitness, InterconnectFitness):
-            self._evaluate: BatchFitness = fitness.evaluate_batch
+        evaluate_batch = getattr(fitness, "evaluate_batch", None)
+        if evaluate_batch is not None:
+            self._evaluate: BatchFitness = evaluate_batch
         else:
             self._evaluate = fitness
 

@@ -26,6 +26,7 @@ from repro.framework.exploration import explore_architecture
 from repro.framework.pipeline import run_pipeline
 from repro.hardware.config import load_architecture
 from repro.noc.interconnect import NocConfig
+from repro.noc.parallel import resolve_workers
 from repro.hardware.presets import architecture_for, custom
 from repro.utils.tables import format_table
 
@@ -67,6 +68,16 @@ def _add_noc_backend_argument(parser: argparse.ArgumentParser) -> None:
 def _add_pso_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--particles", type=int, default=100)
     parser.add_argument("--iterations", type=int, default=50)
+    parser.add_argument(
+        "--objective", default="packets", choices=["packets", "spikes", "noc"],
+        help="PSO objective: closed-form packet/spike counts, or 'noc' = "
+             "cycle-accurate NoC-in-the-loop swarm scoring",
+    )
+    parser.add_argument(
+        "--workers", default=1, type=resolve_workers,
+        help="worker processes for --objective noc swarm scoring "
+             "(1 = serial, 0 or 'auto' = one per CPU)",
+    )
 
 
 def _build_graph(args):
@@ -102,6 +113,8 @@ def _cmd_info(_args) -> int:
 
 
 def _cmd_map(args) -> int:
+    if _reject_non_pso_noc(args.objective, [args.method]):
+        return 2
     graph = _build_graph(args)
     arch = _build_architecture(args, graph)
     print(graph.describe())
@@ -111,6 +124,8 @@ def _cmd_map(args) -> int:
         pso_config=PSOConfig(n_particles=args.particles,
                              n_iterations=args.iterations),
         noc_config=NocConfig(backend=args.noc_backend),
+        objective=args.objective,
+        workers=args.workers,
     )
     print(result.mapping.describe())
     print(result.noc_stats.describe())
@@ -118,7 +133,21 @@ def _cmd_map(args) -> int:
     return 0
 
 
+def _reject_non_pso_noc(objective: str, methods) -> bool:
+    """Friendly pre-check for the map_snn noc-objective restriction."""
+    if objective == "noc" and any(m != "pso" for m in methods):
+        print(
+            "error: --objective noc only applies to PSO; "
+            "use --method pso (or --methods pso)",
+            file=sys.stderr,
+        )
+        return True
+    return False
+
+
 def _cmd_compare(args) -> int:
+    if _reject_non_pso_noc(args.objective, args.methods):
+        return 2
     graph = _build_graph(args)
     arch = _build_architecture(args, graph)
     print(graph.describe())
@@ -127,6 +156,8 @@ def _cmd_compare(args) -> int:
         graph, arch, methods=tuple(args.methods), seed=args.seed,
         pso_config=PSOConfig(n_particles=args.particles,
                              n_iterations=args.iterations),
+        objective=args.objective,
+        workers=args.workers,
     )
     rows = [
         (m, f"{r.fitness:.0f}", f"{r.extras.get('packets', 0):.0f}",
@@ -142,6 +173,8 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_explore(args) -> int:
+    if _reject_non_pso_noc(args.objective, [args.method]):
+        return 2
     graph = _build_graph(args)
     base = custom(4, max(args.sizes), interconnect=args.interconnect,
                   cycles_per_ms=args.cycles_per_ms, name="explore")
@@ -151,6 +184,8 @@ def _cmd_explore(args) -> int:
         pso_config=PSOConfig(n_particles=args.particles,
                              n_iterations=args.iterations),
         noc_config=NocConfig(backend=args.noc_backend),
+        objective=args.objective,
+        workers=args.workers,
     )
     rows = [
         (p.neurons_per_crossbar, p.n_crossbars, f"{p.local_energy_uj:.3f}",

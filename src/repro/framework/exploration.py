@@ -59,12 +59,16 @@ def explore_architecture(
     seed: SeedLike = None,
     pso_config: Optional[PSOConfig] = None,
     noc_config: Optional[NocConfig] = None,
+    objective: str = "packets",
+    workers=1,
 ) -> List[ArchitecturePoint]:
     """Fig. 6: vary crossbar size, keep the application fixed.
 
     For each size the platform is re-derived so the whole network fits
     (fewer, larger crossbars or more, smaller ones), then the full
     pipeline runs: mapping, NoC simulation, energy accounting.
+    ``objective="noc"`` with ``workers > 1`` shards each sweep point's
+    swarm scoring across processes.
     """
     points: List[ArchitecturePoint] = []
     for i, size in enumerate(crossbar_sizes):
@@ -76,6 +80,8 @@ def explore_architecture(
             seed=derive_seed(seed, i),
             pso_config=pso_config,
             noc_config=noc_config,
+            objective=objective,
+            workers=workers,
         )
         report = result.report
         points.append(

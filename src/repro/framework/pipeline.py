@@ -53,6 +53,8 @@ def run_pipeline(
     pso_config: Optional[PSOConfig] = None,
     noc_config: Optional[NocConfig] = None,
     simulate_noc: bool = True,
+    objective: str = "packets",
+    workers=1,
 ) -> PipelineResult:
     """Map ``graph`` onto ``architecture`` and measure the result.
 
@@ -68,9 +70,19 @@ def run_pipeline(
     noc_config:
         Interconnect parameters, including ``backend="reference"|"fast"``
         to pick the simulation engine (see :mod:`repro.noc.fastsim`).
+        Also forwarded to the ``"noc"`` objective's fitness (backend
+        forced to "fast" there), so the swarm optimizes the same fabric
+        the final mapping is measured on.
+    objective:
+        PSO objective — "packets", "spikes", or "noc" for
+        NoC-in-the-loop swarm scoring (see :func:`~repro.core.mapper.map_snn`).
+    workers:
+        Worker processes for "noc"-objective swarm scoring (``1`` =
+        serial, ``0``/``"auto"`` = one per CPU).
     """
     mapping = map_snn(
-        graph, architecture, method=method, seed=seed, pso_config=pso_config
+        graph, architecture, method=method, seed=seed, pso_config=pso_config,
+        objective=objective, workers=workers, noc_config=noc_config,
     )
     topology = architecture.build_topology()
     schedule = build_injections(

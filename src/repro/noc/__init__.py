@@ -15,6 +15,9 @@ surface:
 - :mod:`repro.noc.fastsim` — the table-driven vectorized backend
   (``NocConfig(backend="fast")``), bit-identical to the reference loop
   under deterministic routing and batched via ``simulate_many``;
+- :mod:`repro.noc.parallel` — shards ``simulate_many`` batches across a
+  process pool (``ParallelNocSimulator``), returning compact columnar
+  ``ScheduleSummary`` results that are bit-identical to serial runs;
 - :mod:`repro.noc.traffic` — converts a mapped spike graph into AER packet
   injection schedules;
 - :mod:`repro.noc.stats` — per-packet delivery records and link utilization
@@ -32,6 +35,13 @@ from repro.noc.routing import (
 )
 from repro.noc.interconnect import Interconnect, NocConfig
 from repro.noc.fastsim import FastInterconnect, build_interconnect, simulate_many
+from repro.noc.parallel import (
+    ParallelNocSimulator,
+    ScheduleSummary,
+    parallel_simulate_many,
+    resolve_workers,
+    summarize,
+)
 from repro.noc.stats import DeliveryRecord, NocStats
 from repro.noc.traffic import InjectionSchedule, build_injections
 from repro.noc.faults import degrade_topology, inject_random_faults
@@ -54,6 +64,11 @@ __all__ = [
     "FastInterconnect",
     "build_interconnect",
     "simulate_many",
+    "ParallelNocSimulator",
+    "ScheduleSummary",
+    "parallel_simulate_many",
+    "resolve_workers",
+    "summarize",
     "NocConfig",
     "NocStats",
     "DeliveryRecord",

@@ -4,9 +4,10 @@ The deterministic-routing hot loop of the fast backend has a C
 transcription in ``_fastsim_kernel.c``.  When a C compiler is available
 the kernel is built once (into the package directory, rebuilt only when
 the source changes) and loaded through :mod:`ctypes`; when it is not —
-or when ``REPRO_NOC_NO_CKERNEL`` is set — :func:`load_kernel` returns
-``None`` and the pure-Python engine runs instead.  No extra Python
-dependencies are involved either way.
+or when ``REPRO_NOC_NO_CKERNEL`` (or the shorter CI alias
+``REPRO_NO_CKERNEL``) is set — :func:`load_kernel` returns ``None`` and
+the pure-Python engine runs instead.  No extra Python dependencies are
+involved either way.
 """
 
 from __future__ import annotations
@@ -84,13 +85,21 @@ def _build() -> None:
             os.unlink(tmp)
 
 
+def kernel_disabled() -> bool:
+    """True when an env var forces the pure-Python engine."""
+    return bool(
+        os.environ.get("REPRO_NOC_NO_CKERNEL")
+        or os.environ.get("REPRO_NO_CKERNEL")
+    )
+
+
 def load_kernel() -> Optional[ctypes.CDLL]:
     """Compile (if needed) and load the C kernel, or ``None``."""
     global _cached, _load_attempted
     if _load_attempted:
         return _cached
     _load_attempted = True
-    if os.environ.get("REPRO_NOC_NO_CKERNEL"):
+    if kernel_disabled():
         return None
     try:
         if (

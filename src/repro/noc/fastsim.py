@@ -178,6 +178,17 @@ class FastInterconnect:
         self.config = config if config is not None else NocConfig()
         self._build_tables()
 
+    def __reduce__(self):
+        """Pickle as the (topology, routing, config) spec.
+
+        The derived tables — and especially the ctypes kernel handle,
+        which cannot cross process boundaries — are rebuilt on
+        unpickling.  This is what lets :mod:`repro.noc.parallel` seed
+        each worker process with one compact payload.  ``type(self)``
+        (not the base class) so subclasses survive the round trip.
+        """
+        return (type(self), (self.topology, self.routing, self.config))
+
     # -- precomputed tables --------------------------------------------------
 
     def _build_tables(self) -> None:

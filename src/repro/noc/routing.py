@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-import networkx as nx
 
 from repro.noc.topology import Topology
 

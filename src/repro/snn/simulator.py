@@ -18,11 +18,11 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.snn.network import Network, Population, Projection
+from repro.snn.network import Network
 from repro.snn.neuron import NeuronState
 from repro.snn.stdp import STDPRule, STDPState
 from repro.utils.rng import SeedLike, default_rng

@@ -8,7 +8,7 @@ comparisons and a down-sampled line plot for sweeps.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.utils.validation import check_positive
 
@@ -31,7 +31,7 @@ def bar_chart(
     if not values:
         return "\n".join(lines + ["(empty)"])
     peak = max(values) or 1.0
-    label_w = max(len(l) for l in labels)
+    label_w = max(len(lab) for lab in labels)
     for label, value in zip(labels, values):
         bar = "#" * max(1 if value > 0 else 0, round(value / peak * width))
         lines.append(f"{label.ljust(label_w)} | {bar} {value:g}")

@@ -155,7 +155,12 @@ class TestHopWeightedVariant:
         )
         calls = []
         original = fit._hop_weighted
-        fit._hop_weighted = lambda a: calls.append(1) or original(a)
+
+        def traced(a):
+            calls.append(1)
+            return original(a)
+
+        fit._hop_weighted = traced
         batch = np.random.default_rng(0).integers(0, 4, size=(16, 8))
         fit.evaluate_batch(batch)
         assert calls == []

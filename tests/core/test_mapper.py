@@ -1,6 +1,5 @@
 """Tests for the high-level mapping entry point."""
 
-import numpy as np
 import pytest
 
 from repro.core.mapper import METHODS, compare_methods, map_snn

@@ -1,0 +1,135 @@
+"""Sharded NoC-in-the-loop fitness through the swarm stack.
+
+``InterconnectFitness(noc_in_loop=True, workers=N)`` must hand
+``BinaryPSO`` the same fitness vectors as the serial path — which makes
+whole swarm runs (same seed) land on the same optimum, iteration by
+iteration — and ``map_snn(objective="noc")`` must carry the option end
+to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fitness import InterconnectFitness
+from repro.core.mapper import map_snn
+from repro.core.pso import BinaryPSO, PSOConfig
+from repro.noc.topology import tree
+
+
+def _noc_fitness(graph, **kwargs):
+    return InterconnectFitness(graph, noc_in_loop=True, topology=tree(2), **kwargs)
+
+
+class TestBatchDeterminism:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_fitness_vectors_identical(self, tiny_graph, workers):
+        batch = np.random.default_rng(7).integers(0, 2, size=(12, 8))
+        with _noc_fitness(tiny_graph) as serial:
+            expected = serial.evaluate_batch(batch)
+        with _noc_fitness(tiny_graph, workers=workers) as sharded:
+            np.testing.assert_array_equal(sharded.evaluate_batch(batch), expected)
+
+    def test_latency_metric_identical(self, tiny_graph):
+        batch = np.random.default_rng(8).integers(0, 2, size=(8, 8))
+        with _noc_fitness(tiny_graph, noc_metric="latency") as serial:
+            expected = serial.evaluate_batch(batch)
+        with _noc_fitness(tiny_graph, noc_metric="latency", workers=2) as sharded:
+            np.testing.assert_array_equal(sharded.evaluate_batch(batch), expected)
+
+    def test_single_evaluate_agrees_with_batch(self, tiny_graph):
+        batch = np.random.default_rng(9).integers(0, 2, size=(4, 8))
+        with _noc_fitness(tiny_graph, workers=2) as fit:
+            values = fit.evaluate_batch(batch)
+            for row, value in zip(batch, values):
+                assert fit.evaluate(row) == value
+
+
+class TestSwarmDeterminism:
+    def _run(self, graph, workers):
+        config = PSOConfig(n_particles=6, n_iterations=4)
+        with _noc_fitness(graph, workers=workers) as fitness:
+            pso = BinaryPSO(
+                fitness, n_neurons=8, n_clusters=2, capacity=8, config=config, seed=123
+            )
+            return pso.optimize()
+
+    def test_whole_swarm_run_identical(self, tiny_graph):
+        serial = self._run(tiny_graph, workers=1)
+        sharded = self._run(tiny_graph, workers=2)
+        assert serial.best_fitness == sharded.best_fitness
+        np.testing.assert_array_equal(serial.history, sharded.history)
+        np.testing.assert_array_equal(serial.best_assignment, sharded.best_assignment)
+
+
+class TestMapSnnNocObjective:
+    def _arch(self):
+        from repro.hardware.presets import custom
+
+        return custom(2, 8, interconnect="tree", name="noc-objective")
+
+    def test_noc_objective_runs_and_matches_serial(self, tiny_graph):
+        config = PSOConfig(n_particles=4, n_iterations=2)
+        kwargs = dict(method="pso", seed=5, pso_config=config, objective="noc")
+        serial = map_snn(tiny_graph, self._arch(), workers=1, **kwargs)
+        sharded = map_snn(tiny_graph, self._arch(), workers=2, **kwargs)
+        np.testing.assert_array_equal(serial.assignment, sharded.assignment)
+        np.testing.assert_array_equal(
+            serial.extras["history"], sharded.extras["history"]
+        )
+
+    def test_unknown_objective_still_rejected(self, tiny_graph):
+        with pytest.raises(ValueError, match="objective"):
+            map_snn(tiny_graph, self._arch(), objective="vibes")
+
+    def test_noc_objective_rejected_for_structural_methods(self, tiny_graph):
+        """Baselines cannot honor 'noc'; mislabeling them would be worse."""
+        with pytest.raises(ValueError, match="only supported by method='pso'"):
+            map_snn(tiny_graph, self._arch(), method="greedy", objective="noc")
+
+    def test_compare_methods_rejects_mixed_noc(self, tiny_graph):
+        from repro.core.mapper import compare_methods
+
+        with pytest.raises(ValueError, match="only supported by method='pso'"):
+            compare_methods(
+                tiny_graph, self._arch(), methods=("greedy", "pso"), objective="noc"
+            )
+
+    def test_noc_config_forwarded_to_fitness(self, tiny_graph, monkeypatch):
+        """The swarm must optimize the fabric the mapping is measured on."""
+        from repro.core import mapper
+        from repro.noc.interconnect import NocConfig
+
+        captured = {}
+        original = mapper.InterconnectFitness
+
+        class Spy(original):
+            def __init__(self, *args, **kwargs):
+                captured.update(kwargs)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(mapper, "InterconnectFitness", Spy)
+        cfg = NocConfig(multicast=False, buffer_capacity=2)
+        map_snn(
+            tiny_graph,
+            self._arch(),
+            method="pso",
+            seed=5,
+            pso_config=PSOConfig(n_particles=4, n_iterations=2),
+            objective="noc",
+            noc_config=cfg,
+        )
+        assert captured["noc_config"] is cfg
+
+    def test_closed_form_objectives_ignore_workers(self, tiny_graph):
+        result = map_snn(
+            tiny_graph,
+            self._arch(),
+            method="pso",
+            seed=5,
+            pso_config=PSOConfig(n_particles=4, n_iterations=2),
+            objective="packets",
+            workers=4,
+        )
+        assert result.partition.assignment.shape == (8,)

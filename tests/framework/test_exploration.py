@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.pso import PSOConfig
 from repro.framework.exploration import (
     estimate_interconnect_energy_pj,
     explore_architecture,

@@ -1,7 +1,5 @@
 """Tests for metric report assembly."""
 
-import pytest
-
 from repro.core.mapper import map_snn
 from repro.framework.pipeline import run_pipeline
 from repro.metrics.report import build_report

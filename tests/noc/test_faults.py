@@ -9,7 +9,6 @@ from repro.noc.faults import (
 )
 from repro.noc.interconnect import Interconnect
 from repro.noc.packet import Injection
-from repro.noc.routing import routing_for
 from repro.noc.topology import mesh, torus, tree
 
 

@@ -1,7 +1,5 @@
 """Tests for NoC statistics containers."""
 
-import numpy as np
-
 from repro.noc.stats import DeliveryRecord, NocStats
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.snn.generators import PoissonSource, ScheduledSource
+from repro.snn.generators import ScheduledSource
 from repro.snn.network import Network
 from repro.snn.neuron import LIFModel
 from repro.snn.simulator import Simulation, run_network
