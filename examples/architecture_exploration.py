@@ -7,16 +7,22 @@ report local/global/total synapse energy plus worst-case interconnect
 latency.  The interesting output is the *sweet spot* — the intermediate
 crossbar size minimizing total energy.
 
+A second sweep extends the study beyond the paper: hold the platform at
+the sweet spot and split its crossbars over 1, 2 and 4 chips joined by
+bridge links, showing the latency/energy cliff of going off-chip and how
+much the chip-aware placement pass claws back.
+
 Run:  python examples/architecture_exploration.py
 """
 
 from repro.apps import build_application
 from repro.core import PSOConfig
-from repro.framework import explore_architecture
+from repro.framework import explore_architecture, explore_chips
 from repro.hardware.presets import custom
 from repro.utils.tables import format_table
 
 CROSSBAR_SIZES = [90, 180, 360, 720, 1080, 1440]
+CHIP_COUNTS = [1, 2, 4]
 
 
 def main() -> None:
@@ -58,6 +64,36 @@ def main() -> None:
         f"Sweet spot: {best.neurons_per_crossbar} neurons/crossbar "
         f"({best.n_crossbars} crossbars) at {best.total_energy_uj:.2f} uJ total"
     )
+
+    # -- multi-chip sweep: the sweet-spot platform split across chips ------
+    print()
+    print(f"Splitting {best.n_crossbars}x{best.neurons_per_crossbar} over "
+          f"{CHIP_COUNTS} mesh chips (bridge latency 4)...")
+    board = custom(n_crossbars=max(best.n_crossbars, max(CHIP_COUNTS)),
+                   neurons_per_crossbar=best.neurons_per_crossbar,
+                   interconnect="mesh", bridge_latency=4, name="board")
+    chip_points = explore_chips(
+        graph, board, chip_counts=CHIP_COUNTS, method="pso", seed=7,
+        pso_config=PSOConfig(n_particles=40, n_iterations=30),
+    )
+    rows = [
+        (
+            p.n_chips,
+            p.n_bridges,
+            f"{p.global_energy_uj:.2f}",
+            f"{p.total_energy_uj:.2f}",
+            p.inter_chip_hops,
+            p.bridge_crossings,
+            p.max_latency_cycles,
+        )
+        for p in chip_points
+    ]
+    print()
+    print(format_table(
+        ["chips", "bridges", "global uJ", "total uJ", "inter-chip hops",
+         "crossings", "max latency (cy)"],
+        rows,
+    ))
 
 
 if __name__ == "__main__":

@@ -177,14 +177,7 @@ class InterconnectFitness:
         trailing crossbars empty index the same matrix as full ones.
         """
         if self._hop_matrix is None:
-            c = self.topology.n_attach_points
-            d = np.zeros((c, c), dtype=np.float64)
-            nodes = [self.topology.node_of_crossbar(k) for k in range(c)]
-            for k1 in range(c):
-                for k2 in range(c):
-                    if k1 != k2:
-                        d[k1, k2] = self.routing.distance(nodes[k1], nodes[k2])
-            self._hop_matrix = d
+            self._hop_matrix = self.topology.crossbar_hop_matrix(self.routing)
         return self._hop_matrix
 
     def _check_clusters(self, a: np.ndarray) -> None:
@@ -244,7 +237,9 @@ class InterconnectFitness:
             self.graph, assignment, self.topology,
             cycles_per_ms=self.cycles_per_ms,
         )
-        return self._score(summarize(self._noc.simulate(schedule.injections)))
+        return self._score(
+            summarize(self._noc.simulate(schedule.injections), self.topology)
+        )
 
     def _simulate_batch(self, assignments: np.ndarray) -> np.ndarray:
         from repro.noc.parallel import ParallelNocSimulator, summarize
@@ -266,7 +261,8 @@ class InterconnectFitness:
             summaries = self._parallel.summarize_many(schedules)
         else:
             summaries = [
-                summarize(s) for s in self._noc.simulate_many(schedules)
+                summarize(s, self.topology)
+                for s in self._noc.simulate_many(schedules)
             ]
         return np.asarray(
             [self._score(s) for s in summaries], dtype=np.float64

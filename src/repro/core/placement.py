@@ -13,14 +13,26 @@ hill climbing finds (near-)optimal arrangements in microseconds.  The
 placement is expressed as a cluster relabeling, which preserves both the
 partition's feasibility (uniform capacities) and its Eq. 8 fitness
 (relabeling cannot change which synapses cross).
+
+Multi-chip fabrics get a *two-level* construction instead of the flat
+greedy: chip-to-chip bridges make cross-chip hops several times more
+expensive than intra-chip ones, and the flat heaviest-pair heuristic is
+blind to that cliff — it happily strands one member of a chatty pair on
+the far chip when the near chip still has room.  The hierarchical pass
+first packs communicating clusters onto the same chip
+(:func:`pack_onto_chips`, capacity-constrained greedy plus swap
+refinement at chip granularity), then arranges each chip's clusters on
+its own slots, and finally runs the same global pairwise-swap hill
+climbing, which can only improve on the construction.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.noc.multichip import MultiChipTopology, chip_distance_matrix
 from repro.noc.routing import RoutingTable, routing_for
 from repro.noc.topology import Topology
 
@@ -40,14 +52,8 @@ def placement_cost(
 
 
 def _distance_matrix(topology: Topology, routing: RoutingTable) -> np.ndarray:
-    c = topology.n_attach_points
-    dist = np.zeros((c, c), dtype=np.float64)
-    for a in range(c):
-        na = topology.node_of_crossbar(a)
-        for b in range(c):
-            if a != b:
-                dist[a, b] = routing.distance(na, topology.node_of_crossbar(b))
-    return dist
+    """Attach-point hop matrix (cached on the topology instance)."""
+    return topology.crossbar_hop_matrix(routing)
 
 
 def place_clusters(
@@ -78,24 +84,13 @@ def place_clusters(
     dist = _distance_matrix(topology, routing)[:c, :c]
     symmetric = traffic + traffic.T
 
-    # Greedy construction: place the heaviest-communicating unplaced
-    # cluster next to the placed cluster it talks to most, on the nearest
-    # free slot.
-    perm = np.full(c, -1, dtype=np.int64)
-    free_slots = set(range(c))
-    order = np.argsort(-symmetric.sum(axis=1), kind="stable")
-    first = int(order[0])
-    perm[first] = 0
-    free_slots.discard(0)
-    for k in order[1:]:
-        k = int(k)
-        placed = np.nonzero(perm >= 0)[0]
-        weights = symmetric[k, placed]
-        anchor = int(placed[np.argmax(weights)]) if weights.size else int(placed[0])
-        anchor_slot = int(perm[anchor])
-        slot = min(free_slots, key=lambda s: dist[anchor_slot, s])
-        perm[k] = slot
-        free_slots.discard(slot)
+    if isinstance(topology, MultiChipTopology) and topology.n_chips > 1:
+        perm = _hierarchical_construction(
+            traffic, symmetric, dist, topology, routing
+        )
+    else:
+        perm = np.full(c, -1, dtype=np.int64)
+        _greedy_fill(symmetric, dist, list(range(c)), list(range(c)), perm)
 
     # Pairwise-swap hill climbing.
     best_cost = placement_cost(traffic, perm, dist)
@@ -113,6 +108,187 @@ def place_clusters(
         if not improved:
             break
     return perm
+
+
+def _greedy_fill(
+    symmetric: np.ndarray,
+    dist: np.ndarray,
+    clusters: Sequence[int],
+    slots: Sequence[int],
+    perm: np.ndarray,
+) -> None:
+    """Greedy construction over a cluster/slot subset, writing ``perm``.
+
+    Place the heaviest-communicating unplaced cluster next to the
+    already-placed cluster it talks to most, on the nearest free slot.
+    With ``clusters = slots = range(c)`` this is exactly the flat
+    single-chip construction; the hierarchical pass calls it once per
+    chip with that chip's clusters and slots.
+    """
+    sub = np.asarray(list(clusters), dtype=np.int64)
+    free_slots = set(slots)
+    weights_in = symmetric[np.ix_(sub, sub)].sum(axis=1)
+    order = sub[np.argsort(-weights_in, kind="stable")]
+    first = int(order[0])
+    first_slot = min(free_slots)
+    perm[first] = first_slot
+    free_slots.discard(first_slot)
+    for k in order[1:]:
+        k = int(k)
+        placed = sub[perm[sub] >= 0]
+        weights = symmetric[k, placed]
+        anchor = int(placed[np.argmax(weights)]) if weights.size else int(placed[0])
+        anchor_slot = int(perm[anchor])
+        slot = min(free_slots, key=lambda s: dist[anchor_slot, s])
+        perm[k] = slot
+        free_slots.discard(slot)
+
+
+def pack_onto_chips(
+    traffic: np.ndarray,
+    topology: MultiChipTopology,
+    routing: Optional[RoutingTable] = None,
+    max_passes: int = 20,
+) -> np.ndarray:
+    """Assign clusters to chips, packing communicating clusters together.
+
+    Returns ``chip_of_cluster`` with one chip id per cluster.  Chip
+    capacities are the usable attach slots per chip (slot ids below the
+    cluster count, since placement is a cluster relabeling).  Greedy
+    affinity construction — each cluster joins the chip it already
+    exchanges the most traffic with, capacity permitting — followed by
+    swap/move refinement that minimizes traffic weighted by chip-level
+    bridge distance.
+    """
+    c = traffic.shape[0]
+    if traffic.shape != (c, c):
+        raise ValueError(f"traffic must be square, got {traffic.shape}")
+    if routing is None:
+        routing = routing_for(topology)
+    symmetric = traffic + traffic.T
+    return _pack_onto_chips(
+        symmetric, topology, chip_distance_matrix(topology, routing), max_passes
+    )
+
+
+def _chip_capacities(topology: MultiChipTopology, c: int) -> np.ndarray:
+    """Usable placement slots (ids < c) per chip."""
+    caps = np.zeros(topology.n_chips, dtype=np.int64)
+    for slot in range(c):
+        caps[topology.chip_of_crossbar[slot]] += 1
+    return caps
+
+
+def _pack_onto_chips(
+    symmetric: np.ndarray,
+    topology: MultiChipTopology,
+    chip_dist: np.ndarray,
+    max_passes: int = 20,
+) -> np.ndarray:
+    c = symmetric.shape[0]
+    n_chips = topology.n_chips
+    caps = _chip_capacities(topology, c)
+    chip_of = np.full(c, -1, dtype=np.int64)
+    load = np.zeros(n_chips, dtype=np.int64)
+
+    # Greedy affinity construction, heaviest communicators first.
+    order = np.argsort(-symmetric.sum(axis=1), kind="stable")
+    for k in order:
+        k = int(k)
+        affinity = np.zeros(n_chips, dtype=np.float64)
+        placed = np.nonzero(chip_of >= 0)[0]
+        for j in placed:
+            affinity[chip_of[j]] += symmetric[k, j]
+        open_chips = np.nonzero(load < caps)[0]
+        # Highest affinity wins; ties break toward the emptiest chip so
+        # zero-affinity clusters spread instead of piling onto chip 0.
+        best = max(
+            (int(g) for g in open_chips),
+            key=lambda g: (affinity[g], caps[g] - load[g], -g),
+        )
+        chip_of[k] = best
+        load[best] += 1
+
+    def cross_cost(assign: np.ndarray) -> float:
+        gd = chip_dist[np.ix_(assign, assign)]
+        return float((symmetric * gd).sum())
+
+    # Swap / move refinement at chip granularity.
+    best_cost = cross_cost(chip_of)
+    for _ in range(max_passes):
+        improved = False
+        for a in range(c):
+            # Move to a chip with spare capacity.
+            for g in range(n_chips):
+                if g == chip_of[a] or load[g] >= caps[g]:
+                    continue
+                old = int(chip_of[a])
+                chip_of[a] = g
+                cost = cross_cost(chip_of)
+                if cost < best_cost - 1e-12:
+                    load[old] -= 1
+                    load[g] += 1
+                    best_cost = cost
+                    improved = True
+                else:
+                    chip_of[a] = old
+            # Swap with a cluster on another chip.
+            for b in range(a + 1, c):
+                if chip_of[a] == chip_of[b]:
+                    continue
+                chip_of[a], chip_of[b] = chip_of[b], chip_of[a]
+                cost = cross_cost(chip_of)
+                if cost < best_cost - 1e-12:
+                    best_cost = cost
+                    improved = True
+                else:
+                    chip_of[a], chip_of[b] = chip_of[b], chip_of[a]
+        if not improved:
+            break
+    return chip_of
+
+
+def _hierarchical_construction(
+    traffic: np.ndarray,
+    symmetric: np.ndarray,
+    dist: np.ndarray,
+    topology: MultiChipTopology,
+    routing: RoutingTable,
+) -> np.ndarray:
+    """Two-level construction: pack onto chips, then fill each chip."""
+    c = traffic.shape[0]
+    chip_of = _pack_onto_chips(
+        symmetric, topology, chip_distance_matrix(topology, routing)
+    )
+    perm = np.full(c, -1, dtype=np.int64)
+    for chip in range(topology.n_chips):
+        clusters = [k for k in range(c) if chip_of[k] == chip]
+        if not clusters:
+            continue
+        slots = [
+            s for s in range(c) if topology.chip_of_crossbar[s] == chip
+        ]
+        _greedy_fill(symmetric, dist, clusters, slots, perm)
+    return perm
+
+
+def inter_chip_traffic(
+    traffic: np.ndarray,
+    perm: np.ndarray,
+    topology: MultiChipTopology,
+) -> float:
+    """Spike traffic that crosses any chip boundary under a placement.
+
+    The closed-form counterpart of the simulator's inter-chip hop
+    count: traffic between clusters whose slots sit on different chips.
+    Used by tests and benches to show the chip-aware pass beats naive
+    placement.
+    """
+    chips = np.asarray(
+        [topology.chip_of_crossbar[int(s)] for s in perm], dtype=np.int64
+    )
+    crossing = chips[:, None] != chips[None, :]
+    return float((np.asarray(traffic) * crossing).sum())
 
 
 def apply_placement(assignment: np.ndarray, perm: np.ndarray) -> np.ndarray:

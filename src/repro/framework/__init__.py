@@ -13,10 +13,12 @@ from repro.framework.pipeline import PipelineResult, run_pipeline
 from repro.framework.experiment import ExperimentRecord
 from repro.framework.exploration import (
     ArchitecturePoint,
+    ChipPoint,
     SwarmPoint,
     estimate_interconnect_energy_pj,
     estimate_synapse_energy_pj,
     explore_architecture,
+    explore_chips,
     explore_swarm_size,
 )
 from repro.framework.replay import (
@@ -31,10 +33,12 @@ __all__ = [
     "PipelineResult",
     "ExperimentRecord",
     "explore_architecture",
+    "explore_chips",
     "explore_swarm_size",
     "estimate_interconnect_energy_pj",
     "estimate_synapse_energy_pj",
     "ArchitecturePoint",
+    "ChipPoint",
     "SwarmPoint",
     "delivered_spike_trains",
     "perceived_spike_trains",

@@ -22,7 +22,7 @@ from repro.apps import APPLICATIONS, build_application
 from repro.apps.registry import ABBREVIATIONS
 from repro.core import PSOConfig
 from repro.core.mapper import METHODS, compare_methods
-from repro.framework.exploration import explore_architecture
+from repro.framework.exploration import explore_architecture, explore_chips
 from repro.framework.pipeline import run_pipeline
 from repro.hardware.config import load_architecture
 from repro.noc.interconnect import NocConfig
@@ -52,6 +52,26 @@ def _add_arch_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--interconnect", default="tree",
                         choices=["tree", "mesh", "star", "torus"])
     parser.add_argument("--cycles-per-ms", type=float, default=10.0)
+    parser.add_argument(
+        "--chips", type=int, default=1,
+        help="spread the crossbars over this many chips joined by "
+             "bridge links (1 = single-chip platform)",
+    )
+    parser.add_argument(
+        "--chip-topology", default=None,
+        choices=["tree", "mesh", "star", "torus"],
+        help="per-chip topology family when --chips > 1 "
+             "(default: the --interconnect value)",
+    )
+    parser.add_argument(
+        "--bridge-latency", type=int, default=4,
+        help="cycles per chip-to-chip bridge crossing (--chips > 1)",
+    )
+    parser.add_argument(
+        "--bridge-energy", type=float, default=None,
+        help="pJ per chip-to-chip bridge crossing (default: the "
+             "energy model's e_bridge_pj)",
+    )
     parser.add_argument("--arch-config", default=None,
                         help="platform config file (overrides the flags)")
 
@@ -87,19 +107,45 @@ def _build_graph(args):
     return build_application(args.app, seed=args.seed, **kwargs)
 
 
+def _chip_interconnect(args) -> str:
+    """Per-chip topology family: --chip-topology wins when multi-chip."""
+    if args.chips > 1 and args.chip_topology:
+        return args.chip_topology
+    return args.interconnect
+
+
+def _bridge_energy_model(args):
+    """EnergyModel override carrying --bridge-energy, or None."""
+    if args.bridge_energy is None:
+        return None
+    from repro.hardware.energy_model import EnergyModel
+
+    return EnergyModel(e_bridge_pj=args.bridge_energy)
+
+
 def _build_architecture(args, graph):
     if args.arch_config:
         return load_architecture(args.arch_config)
+    interconnect = _chip_interconnect(args)
+    energy = _bridge_energy_model(args)
     if args.crossbars and args.capacity:
         return custom(args.crossbars, args.capacity,
-                      interconnect=args.interconnect,
-                      cycles_per_ms=args.cycles_per_ms, name="cli")
+                      interconnect=interconnect,
+                      cycles_per_ms=args.cycles_per_ms, name="cli",
+                      energy=energy, n_chips=args.chips,
+                      bridge_latency=args.bridge_latency)
     capacity = args.capacity or max(16, -(-graph.n_neurons // 6))
-    return architecture_for(
+    arch = architecture_for(
         graph.n_neurons, neurons_per_crossbar=capacity,
-        interconnect=args.interconnect, cycles_per_ms=args.cycles_per_ms,
-        name="cli-auto",
+        interconnect=interconnect, cycles_per_ms=args.cycles_per_ms,
+        name="cli-auto", n_chips=args.chips,
+        bridge_latency=args.bridge_latency,
     )
+    if energy is not None:
+        from dataclasses import replace
+
+        arch = replace(arch, energy=energy)
+    return arch
 
 
 def _cmd_info(_args) -> int:
@@ -176,8 +222,13 @@ def _cmd_explore(args) -> int:
     if _reject_non_pso_noc(args.objective, [args.method]):
         return 2
     graph = _build_graph(args)
-    base = custom(4, max(args.sizes), interconnect=args.interconnect,
-                  cycles_per_ms=args.cycles_per_ms, name="explore")
+    if args.chip_counts:
+        return _explore_chip_counts(args, graph)
+    energy = _bridge_energy_model(args)
+    base = custom(4, max(args.sizes), interconnect=_chip_interconnect(args),
+                  cycles_per_ms=args.cycles_per_ms, name="explore",
+                  energy=energy, n_chips=args.chips,
+                  bridge_latency=args.bridge_latency)
     points = explore_architecture(
         graph, base, crossbar_sizes=args.sizes, method=args.method,
         seed=args.seed,
@@ -196,6 +247,32 @@ def _cmd_explore(args) -> int:
     print(format_table(
         ["neurons/xbar", "crossbars", "local uJ", "global uJ", "total uJ",
          "latency (cy)"],
+        rows,
+    ))
+    return 0
+
+
+def _explore_chip_counts(args, graph) -> int:
+    """Chip-count sweep: same platform, 1..N chips (Fig. 6 style)."""
+    base = _build_architecture(args, graph)
+    points = explore_chips(
+        graph, base, chip_counts=args.chip_counts, method=args.method,
+        seed=args.seed,
+        pso_config=PSOConfig(n_particles=args.particles,
+                             n_iterations=args.iterations),
+        noc_config=NocConfig(backend=args.noc_backend),
+        objective=args.objective,
+        workers=args.workers,
+    )
+    rows = [
+        (p.n_chips, p.n_bridges, f"{p.global_energy_uj:.3f}",
+         f"{p.total_energy_uj:.3f}", p.inter_chip_hops,
+         p.bridge_crossings, p.max_latency_cycles)
+        for p in points
+    ]
+    print(format_table(
+        ["chips", "bridges", "global uJ", "total uJ", "inter-chip hops",
+         "crossings", "latency (cy)"],
         rows,
     ))
     return 0
@@ -233,6 +310,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--method", default="pso", choices=METHODS)
     p_exp.add_argument("--sizes", nargs="+", type=int,
                        default=[90, 180, 360, 720, 1440])
+    p_exp.add_argument(
+        "--chip-counts", nargs="+", type=int, default=None,
+        help="sweep chip counts instead of crossbar sizes (platform "
+             "taken from the architecture flags)",
+    )
 
     p_rep = sub.add_parser(
         "reproduce", help="regenerate a paper table/figure"

@@ -6,6 +6,10 @@
 - :func:`explore_swarm_size` — Fig. 7: sweep the PSO swarm size at a fixed
   iteration budget; report the achieved interconnect energy per point
   (normalized by the sweep's minimum, as the paper plots it).
+- :func:`explore_chips` — the multi-chip extension of the Fig. 6 study:
+  hold the platform fixed and sweep how many chips its crossbars are
+  spread across, reporting the inter-chip traffic, bridge crossings and
+  energy/latency cost of each split.
 
 Both return plain dataclass lists so benches can print the same series the
 paper's figures show.
@@ -49,6 +53,23 @@ class SwarmPoint:
     interconnect_energy_pj: float
     global_spikes: float
     wall_time_s: float
+
+
+@dataclass(frozen=True)
+class ChipPoint:
+    """One chip-count sweep point."""
+
+    n_chips: int
+    n_bridges: int
+    local_energy_uj: float
+    global_energy_uj: float
+    total_energy_uj: float
+    max_latency_cycles: int
+    mean_latency_cycles: float
+    inter_chip_hops: int
+    bridge_crossings: int
+    mean_inter_chip_latency_cycles: float
+    global_spikes: float
 
 
 def explore_architecture(
@@ -98,6 +119,60 @@ def explore_architecture(
     return points
 
 
+def explore_chips(
+    graph: SpikeGraph,
+    base: Architecture,
+    chip_counts: Sequence[int],
+    method: str = "pso",
+    seed: SeedLike = None,
+    pso_config: Optional[PSOConfig] = None,
+    noc_config: Optional[NocConfig] = None,
+    objective: str = "packets",
+    workers=1,
+) -> List[ChipPoint]:
+    """Sweep how many chips the platform's crossbars are spread across.
+
+    Every point keeps ``base``'s crossbar count, tile size and per-chip
+    topology family; only the chip split (and therefore the bridge
+    structure) changes.  The full pipeline runs per point — mapping with
+    the chip-aware placement pass, cycle-accurate NoC simulation, and
+    the energy accounting including the bridge term — so the sweep shows
+    the real latency/energy cliff of going off-chip, Fig. 6 style.
+    """
+    points: List[ChipPoint] = []
+    for i, chips in enumerate(chip_counts):
+        arch = replace(base, n_chips=chips, name=f"{base.name}@{chips}chips")
+        result = run_pipeline(
+            graph,
+            arch,
+            method=method,
+            seed=derive_seed(seed, i),
+            pso_config=pso_config,
+            noc_config=noc_config,
+            objective=objective,
+            workers=workers,
+        )
+        report = result.report
+        points.append(
+            ChipPoint(
+                n_chips=chips,
+                n_bridges=getattr(result.topology, "n_bridges", 0),
+                local_energy_uj=report.local_energy_pj * 1e-6,
+                global_energy_uj=report.global_energy_pj * 1e-6,
+                total_energy_uj=report.total_energy_pj * 1e-6,
+                max_latency_cycles=report.max_latency_cycles,
+                mean_latency_cycles=report.mean_latency_cycles,
+                inter_chip_hops=report.inter_chip_hops,
+                bridge_crossings=report.bridge_crossings,
+                mean_inter_chip_latency_cycles=(
+                    report.mean_inter_chip_latency_cycles
+                ),
+                global_spikes=report.global_spikes,
+            )
+        )
+    return points
+
+
 def estimate_interconnect_energy_pj(
     graph: SpikeGraph,
     assignment: np.ndarray,
@@ -107,7 +182,8 @@ def estimate_interconnect_energy_pj(
 
     Avoids a full NoC simulation for sweeps with many points.  Each
     (neuron, remote crossbar) flow carries the neuron's spike count; a
-    flow's packets pay hop energy over the routed distance, the encoder
+    flow's packets pay hop energy over the routed distance (plus the
+    per-crossing bridge energy on multi-chip fabrics), the encoder
     runs once per spike event that leaves a crossbar, and the decoder
     once per delivered packet.  This is the unicast-equivalent accounting
     (multicast trunk sharing makes the simulated energy at most a few
@@ -115,27 +191,34 @@ def estimate_interconnect_energy_pj(
     the ordering of mapping candidates always matches the simulator's.
     """
     from repro.core.traffic_matrix import TrafficMatrix
+    from repro.noc.multichip import MultiChipTopology
     from repro.noc.traffic import global_destinations
 
     topology = architecture.build_topology()
     routing = routing_for(topology)
-    energy = architecture.energy
+    bridged = isinstance(topology, MultiChipTopology) and topology.n_chips > 1
     assignment = np.asarray(assignment, dtype=np.int64)
     neuron_spikes = TrafficMatrix(graph).neuron_spikes
     dests = global_destinations(graph, assignment)
 
-    hop_pj = energy.global_energy_per_spike_hop_pj()
-    total = 0.0
+    spike_hops = encodes = decodes = crossings = 0.0
     for neuron, clusters in dests.items():
         spikes = float(neuron_spikes[neuron])
         if spikes == 0.0:
             continue
         own_node = topology.node_of_crossbar(int(assignment[neuron]))
-        total += spikes * energy.e_encode_pj  # one encode per spike event
+        encodes += spikes  # one encode per spike event
         for c in clusters:
-            dist = routing.distance(own_node, topology.node_of_crossbar(c))
-            total += spikes * (dist * hop_pj + energy.e_decode_pj)
-    return total
+            dst_node = topology.node_of_crossbar(c)
+            spike_hops += spikes * routing.distance(own_node, dst_node)
+            decodes += spikes
+            if bridged:
+                crossings += spikes * topology.bridge_crossings_on_route(
+                    routing, own_node, dst_node
+                )
+    return architecture.energy.estimate_global_energy_pj(
+        spike_hops, encodes, decodes, bridge_crossings=crossings
+    )
 
 
 def estimate_synapse_energy_pj(
@@ -147,31 +230,36 @@ def estimate_synapse_energy_pj(
 
     Eq. 7-8 of the paper charge every crossing *synapse* spike
     independently (no multicast sharing): hop energy over the routed
-    distance between the two crossbars plus encoder/decoder work per
-    spike.  This is the cost model under which the paper's Fig. 5 numbers
-    were produced; :func:`estimate_interconnect_energy_pj` is the
+    distance between the two crossbars (plus per-crossing bridge energy
+    on multi-chip fabrics) plus encoder/decoder work per spike.  This
+    is the cost model under which the paper's Fig. 5 numbers were
+    produced; :func:`estimate_interconnect_energy_pj` is the
     multicast-aware packet variant.
     """
     from repro.core.traffic_matrix import cluster_traffic
+    from repro.noc.multichip import MultiChipTopology
 
     topology = architecture.build_topology()
     routing = routing_for(topology)
+    bridged = isinstance(topology, MultiChipTopology) and topology.n_chips > 1
     matrix = cluster_traffic(graph, assignment, architecture.n_crossbars)
-    energy = architecture.energy
-    total = 0.0
-    crossing = 0.0
+    spike_hops = crossing = bridge_crossings = 0.0
     for k1 in range(architecture.n_crossbars):
         for k2 in range(architecture.n_crossbars):
             spikes = matrix[k1, k2]
             if k1 == k2 or spikes == 0.0:
                 continue
-            dist = routing.distance(
-                topology.node_of_crossbar(k1), topology.node_of_crossbar(k2)
-            )
-            total += spikes * dist * energy.global_energy_per_spike_hop_pj()
+            n1 = topology.node_of_crossbar(k1)
+            n2 = topology.node_of_crossbar(k2)
+            spike_hops += spikes * routing.distance(n1, n2)
             crossing += spikes
-    total += crossing * (energy.e_encode_pj + energy.e_decode_pj)
-    return total
+            if bridged:
+                bridge_crossings += spikes * topology.bridge_crossings_on_route(
+                    routing, n1, n2
+                )
+    return architecture.energy.estimate_global_energy_pj(
+        spike_hops, crossing, crossing, bridge_crossings=bridge_crossings
+    )
 
 
 def explore_swarm_size(

@@ -17,6 +17,7 @@ from repro.metrics.report import MetricReport, build_report
 from repro.noc.fastsim import build_interconnect
 from repro.noc.interconnect import NocConfig
 from repro.noc.stats import NocStats
+from repro.noc.topology import Topology
 from repro.noc.traffic import InjectionSchedule, build_injections
 from repro.snn.graph import SpikeGraph
 from repro.utils.rng import SeedLike
@@ -32,6 +33,7 @@ class PipelineResult:
     schedule: InjectionSchedule
     noc_stats: NocStats
     report: MetricReport
+    topology: Optional[Topology] = None
 
     def describe(self) -> str:
         return "\n".join(
@@ -96,7 +98,7 @@ def run_pipeline(
         stats = interconnect.simulate(schedule.injections)
     else:
         stats = NocStats()
-    report = build_report(graph.name, mapping, stats, architecture)
+    report = build_report(graph.name, mapping, stats, architecture, topology)
     return PipelineResult(
         graph=graph,
         architecture=architecture,
@@ -104,4 +106,5 @@ def run_pipeline(
         schedule=schedule,
         noc_stats=stats,
         report=report,
+        topology=topology,
     )

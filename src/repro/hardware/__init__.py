@@ -19,7 +19,12 @@ from repro.hardware.energy_model import EnergyBreakdown, EnergyModel
 from repro.hardware.aer import AEREvent, decode_events, encode_spike_trains
 from repro.hardware.config import load_architecture, save_architecture
 from repro.hardware.quantization import quantize_graph, quantize_weights
-from repro.hardware.presets import cxquad, custom, truenorth_like
+from repro.hardware.presets import (
+    cxquad,
+    custom,
+    multichip_board,
+    truenorth_like,
+)
 
 __all__ = [
     "Architecture",
@@ -32,6 +37,7 @@ __all__ = [
     "cxquad",
     "truenorth_like",
     "custom",
+    "multichip_board",
     "load_architecture",
     "save_architecture",
     "quantize_weights",

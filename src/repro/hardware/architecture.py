@@ -30,12 +30,22 @@ class Architecture:
         Neuron capacity of each tile (``Nc``).
     interconnect:
         Topology family for the global synapse interconnect:
-        "tree", "mesh", "star" or "torus".
+        "tree", "mesh", "star" or "torus".  With ``n_chips > 1`` this
+        is the *per-chip* family and the chips are composed into a
+        multi-chip fabric with bridge links.
+    n_chips:
+        Number of chips the crossbars are spread across.  ``1`` (the
+        default) is the flat single-chip platform of the paper; larger
+        values build a :class:`~repro.noc.multichip.MultiChipTopology`.
+    bridge_latency:
+        Cycles for a packet to cross one chip-to-chip bridge (only
+        meaningful with ``n_chips > 1``).
     cycles_per_ms:
         Interconnect clock cycles per millisecond of biological time; sets
         how bursty simultaneous spikes appear to the NoC.
     energy:
-        Per-event energy coefficients.
+        Per-event energy coefficients (including the per-crossing
+        bridge energy on multi-chip platforms).
     name:
         Label for reports.
     """
@@ -46,11 +56,15 @@ class Architecture:
     cycles_per_ms: float = 10.0
     energy: EnergyModel = field(default_factory=EnergyModel)
     name: str = "custom"
+    n_chips: int = 1
+    bridge_latency: int = 1
 
     def __post_init__(self) -> None:
         check_positive("n_crossbars", self.n_crossbars)
         check_positive("neurons_per_crossbar", self.neurons_per_crossbar)
         check_positive("cycles_per_ms", self.cycles_per_ms)
+        check_positive("n_chips", self.n_chips)
+        check_positive("bridge_latency", self.bridge_latency)
 
     @property
     def total_capacity(self) -> int:
@@ -58,7 +72,23 @@ class Architecture:
         return self.n_crossbars * self.neurons_per_crossbar
 
     def build_topology(self) -> Topology:
-        """Instantiate the interconnect topology with one attach point per tile."""
+        """Instantiate the interconnect topology with one attach point per tile.
+
+        With ``n_chips > 1`` the crossbars are spread over a multi-chip
+        fabric of ``interconnect``-family chips joined by bridges.  The
+        chip count is clamped to the crossbar count so derived
+        platforms (``scaled_to`` during exploration) stay buildable
+        when they shrink below one crossbar per chip.
+        """
+        chips = min(self.n_chips, self.n_crossbars)
+        if chips > 1:
+            return build_topology(
+                "multichip",
+                self.n_crossbars,
+                n_chips=chips,
+                chip_kind=self.interconnect,
+                bridge_latency=self.bridge_latency,
+            )
         return build_topology(self.interconnect, self.n_crossbars)
 
     def build_crossbars(self) -> List[Crossbar]:
@@ -95,8 +125,14 @@ class Architecture:
         )
 
     def describe(self) -> str:
+        chips = (
+            f"{self.n_chips} chips of {self.interconnect} "
+            f"(bridge latency {self.bridge_latency})"
+            if self.n_chips > 1
+            else f"{self.interconnect} interconnect"
+        )
         return (
             f"Architecture {self.name!r}: {self.n_crossbars} crossbars x "
-            f"{self.neurons_per_crossbar} neurons, {self.interconnect} "
-            f"interconnect, {self.cycles_per_ms} cycles/ms"
+            f"{self.neurons_per_crossbar} neurons, {chips}, "
+            f"{self.cycles_per_ms} cycles/ms"
         )

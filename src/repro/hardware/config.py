@@ -13,6 +13,8 @@ Example config::
     n_crossbars: 4
     neurons_per_crossbar: 256
     interconnect: tree
+    n_chips: 1          # > 1 builds a multi-chip fabric of `interconnect` chips
+    bridge_latency: 1   # cycles per chip-to-chip bridge crossing
     cycles_per_ms: 10.0
     energy:
       e_local_event_pj: 1.6
@@ -107,6 +109,8 @@ def architecture_to_config(arch: Architecture) -> Dict[str, ConfigValue]:
         "n_crossbars": arch.n_crossbars,
         "neurons_per_crossbar": arch.neurons_per_crossbar,
         "interconnect": arch.interconnect,
+        "n_chips": arch.n_chips,
+        "bridge_latency": arch.bridge_latency,
         "cycles_per_ms": arch.cycles_per_ms,
         "energy": arch.energy.to_dict(),
     }
@@ -128,6 +132,8 @@ def architecture_from_config(config: Dict[str, ConfigValue]) -> Architecture:
         cycles_per_ms=float(config.get("cycles_per_ms", 10.0)),
         energy=EnergyModel.from_dict(energy_cfg) if energy_cfg else EnergyModel(),
         name=str(config.get("name", "custom")),
+        n_chips=int(config.get("n_chips", 1)),
+        bridge_latency=int(config.get("bridge_latency", 1)),
     )
 
 

@@ -76,6 +76,11 @@ class EnergyModel:
         Link traversal energy per packet per hop.
     e_encode_pj / e_decode_pj:
         AER encoder / decoder energy per packet injected / delivered.
+    e_bridge_pj:
+        Extra energy per packet per chip-to-chip bridge *crossing*
+        (SerDes + pad drive), on top of the ordinary per-hop cost the
+        bridge's relay stages already pay.  Inert on single-chip
+        fabrics, which have no bridges to cross.
     """
 
     e_local_event_pj: float = 0.16
@@ -84,6 +89,7 @@ class EnergyModel:
     e_link_pj: float = 4.5
     e_encode_pj: float = 3.0
     e_decode_pj: float = 3.0
+    e_bridge_pj: float = 45.0
 
     def __post_init__(self) -> None:
         check_nonnegative("e_local_event_pj", self.e_local_event_pj)
@@ -92,6 +98,7 @@ class EnergyModel:
         check_nonnegative("e_link_pj", self.e_link_pj)
         check_nonnegative("e_encode_pj", self.e_encode_pj)
         check_nonnegative("e_decode_pj", self.e_decode_pj)
+        check_nonnegative("e_bridge_pj", self.e_bridge_pj)
 
     # -- local side -----------------------------------------------------------
 
@@ -107,14 +114,25 @@ class EnergyModel:
 
     # -- global side ------------------------------------------------------------
 
-    def global_energy_pj(self, stats: NocStats) -> float:
-        """Interconnect energy from a NoC simulation's event counts."""
+    def global_energy_pj(self, stats: NocStats, topology=None) -> float:
+        """Interconnect energy from a NoC simulation's event counts.
+
+        Pass the simulated topology to charge the multi-chip bridge
+        term: every chip-to-chip crossing costs ``e_bridge_pj`` on top
+        of the per-hop energy its relay stages already pay.  Without a
+        topology (or on a single-chip one) the result is the flat
+        accounting unchanged.
+        """
         hop_energy = stats.total_hops() * (self.e_router_pj + self.e_link_pj)
         endpoint_energy = (
             stats.n_injected * self.e_encode_pj
             + stats.delivered_count * self.e_decode_pj
         )
-        return hop_energy + endpoint_energy
+        bridge_energy = 0.0
+        crossings = getattr(topology, "bridge_crossings", None)
+        if crossings is not None:
+            bridge_energy = crossings(stats.link_loads) * self.e_bridge_pj
+        return hop_energy + endpoint_energy + bridge_energy
 
     def global_energy_per_spike_hop_pj(self) -> float:
         """Convenience: energy of moving one packet across one hop."""
@@ -123,18 +141,26 @@ class EnergyModel:
     # -- analytic global estimate (no NoC simulation) ---------------------------
 
     def estimate_global_energy_pj(
-        self, spike_hops: float, packets: float, deliveries: float
+        self,
+        spike_hops: float,
+        packets: float,
+        deliveries: float,
+        bridge_crossings: float = 0.0,
     ) -> float:
         """Analytic estimate used by fast fitness sweeps.
 
         ``spike_hops`` is total (packet x hop) events; ``packets`` and
-        ``deliveries`` are injection/ejection counts.
+        ``deliveries`` are injection/ejection counts;
+        ``bridge_crossings`` is the chip-to-chip crossing count on a
+        multi-chip fabric (zero on one chip).
         """
         check_nonnegative("spike_hops", spike_hops)
+        check_nonnegative("bridge_crossings", bridge_crossings)
         return (
             spike_hops * (self.e_router_pj + self.e_link_pj)
             + packets * self.e_encode_pj
             + deliveries * self.e_decode_pj
+            + bridge_crossings * self.e_bridge_pj
         )
 
     # -- config round-trip (the paper's "external loaded YAML file") -------------

@@ -44,6 +44,32 @@ def truenorth_like(
     )
 
 
+def multichip_board(
+    n_chips: int = 4,
+    crossbars_per_chip: int = 4,
+    neurons_per_crossbar: int = 256,
+    chip_interconnect: str = "mesh",
+    bridge_latency: int = 4,
+    cycles_per_ms: float = 10.0,
+) -> Architecture:
+    """A board of several mesh chips joined by bridges (TrueNorth-style).
+
+    Chip-to-chip links are slower than on-chip hops (``bridge_latency``
+    cycles each) and each crossing pays the energy model's
+    ``e_bridge_pj`` on top of per-hop costs.
+    """
+    return Architecture(
+        n_crossbars=n_chips * crossbars_per_chip,
+        neurons_per_crossbar=neurons_per_crossbar,
+        interconnect=chip_interconnect,
+        cycles_per_ms=cycles_per_ms,
+        energy=EnergyModel(reference_crossbar_size=256),
+        name=f"multichip_board_{n_chips}x{crossbars_per_chip}",
+        n_chips=n_chips,
+        bridge_latency=bridge_latency,
+    )
+
+
 def custom(
     n_crossbars: int,
     neurons_per_crossbar: int,
@@ -51,6 +77,8 @@ def custom(
     cycles_per_ms: float = 10.0,
     energy: EnergyModel = None,
     name: str = "custom",
+    n_chips: int = 1,
+    bridge_latency: int = 1,
 ) -> Architecture:
     """Free-form platform builder with CxQuad-calibrated default energies."""
     return Architecture(
@@ -60,6 +88,8 @@ def custom(
         cycles_per_ms=cycles_per_ms,
         energy=energy if energy is not None else EnergyModel(),
         name=name,
+        n_chips=n_chips,
+        bridge_latency=bridge_latency,
     )
 
 
@@ -69,6 +99,8 @@ def architecture_for(
     interconnect: str = "tree",
     cycles_per_ms: float = 10.0,
     name: str = "auto",
+    n_chips: int = 1,
+    bridge_latency: int = 1,
 ) -> Architecture:
     """Smallest platform of fixed tile size that fits ``n_neurons``."""
     n_crossbars = max(1, -(-n_neurons // neurons_per_crossbar))
@@ -78,4 +110,6 @@ def architecture_for(
         interconnect=interconnect,
         cycles_per_ms=cycles_per_ms,
         name=name,
+        n_chips=n_chips,
+        bridge_latency=bridge_latency,
     )

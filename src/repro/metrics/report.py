@@ -43,6 +43,11 @@ class MetricReport:
     local_synapses: int
     delivered_packets: int
     undelivered_packets: int
+    # Multi-chip breakdown (all zero / one on single-chip fabrics)
+    n_chips: int = 1
+    inter_chip_hops: int = 0
+    bridge_crossings: int = 0
+    mean_inter_chip_latency_cycles: float = 0.0
 
     @property
     def total_energy_pj(self) -> float:
@@ -71,6 +76,12 @@ class MetricReport:
             "local_synapses": self.local_synapses,
             "delivered_packets": self.delivered_packets,
             "undelivered_packets": self.undelivered_packets,
+            "n_chips": self.n_chips,
+            "inter_chip_hops": self.inter_chip_hops,
+            "bridge_crossings": self.bridge_crossings,
+            "mean_inter_chip_latency_cycles": (
+                self.mean_inter_chip_latency_cycles
+            ),
         }
         return d
 
@@ -84,6 +95,18 @@ class MetricReport:
             ("Global energy (uJ)", f"{self.global_energy_pj * 1e-6:.3f}"),
             ("Local energy (uJ)", f"{self.local_energy_pj * 1e-6:.3f}"),
         ]
+        if self.n_chips > 1:
+            rows.extend(
+                [
+                    ("Chips", str(self.n_chips)),
+                    ("Inter-chip hops", str(self.inter_chip_hops)),
+                    ("Bridge crossings", str(self.bridge_crossings)),
+                    (
+                        "Inter-chip latency (cycles)",
+                        f"{self.mean_inter_chip_latency_cycles:.1f}",
+                    ),
+                ]
+            )
         return format_table(
             [f"{self.app} / {self.method}", "value"], rows
         )
@@ -94,8 +117,27 @@ def build_report(
     mapping: MappingResult,
     stats: NocStats,
     architecture: Architecture,
+    topology=None,
 ) -> MetricReport:
-    """Assemble a :class:`MetricReport` from one pipeline run's artifacts."""
+    """Assemble a :class:`MetricReport` from one pipeline run's artifacts.
+
+    ``topology`` is the fabric the stats were simulated on; when omitted
+    it is rebuilt from the architecture.  On a multi-chip fabric it
+    feeds the bridge energy term and the inter-chip breakdown fields.
+    """
+    from repro.noc.multichip import MultiChipTopology, chip_breakdown
+
+    if topology is None:
+        topology = architecture.build_topology()
+    n_chips = 1
+    inter_hops = crossings = 0
+    mean_inter_latency = 0.0
+    if isinstance(topology, MultiChipTopology) and topology.n_chips > 1:
+        breakdown = chip_breakdown(stats, topology)
+        n_chips = topology.n_chips
+        inter_hops = breakdown.inter_chip_hops
+        crossings = breakdown.bridge_crossings
+        mean_inter_latency = breakdown.mean_inter_latency
     energy = architecture.energy
     return MetricReport(
         app=app,
@@ -111,11 +153,15 @@ def build_report(
         local_energy_pj=energy.local_energy_pj(
             mapping.local_spikes, architecture.neurons_per_crossbar
         ),
-        global_energy_pj=energy.global_energy_pj(stats),
+        global_energy_pj=energy.global_energy_pj(stats, topology),
         global_spikes=mapping.global_spikes,
         local_spikes=mapping.local_spikes,
         global_synapses=mapping.global_synapses,
         local_synapses=mapping.local_synapses,
         delivered_packets=stats.delivered_count,
         undelivered_packets=stats.undelivered_count,
+        n_chips=n_chips,
+        inter_chip_hops=inter_hops,
+        bridge_crossings=crossings,
+        mean_inter_chip_latency_cycles=mean_inter_latency,
     )

@@ -8,6 +8,9 @@ surface:
 
 - :mod:`repro.noc.topology` — mesh / tree / star / torus builders with
   crossbar attach points;
+- :mod:`repro.noc.multichip` — multi-chip fabrics: per-chip topologies
+  joined by bridge links with configurable latency/energy, plus the
+  per-chip / inter-chip statistics breakdown;
 - :mod:`repro.noc.routing` — deterministic XY and shortest-path next-hop
   tables;
 - :mod:`repro.noc.interconnect` — the cycle-accurate, input-buffered,
@@ -25,7 +28,13 @@ surface:
 """
 
 from repro.noc.packet import SpikePacket
-from repro.noc.topology import Topology, mesh, star, torus, tree
+from repro.noc.topology import Topology, build_topology, mesh, star, torus, tree
+from repro.noc.multichip import (
+    ChipBreakdown,
+    MultiChipTopology,
+    chip_breakdown,
+    multichip,
+)
 from repro.noc.routing import (
     RoutingTable,
     WestFirstRouting,
@@ -49,10 +58,15 @@ from repro.noc.faults import degrade_topology, inject_random_faults
 __all__ = [
     "SpikePacket",
     "Topology",
+    "build_topology",
     "mesh",
     "tree",
     "star",
     "torus",
+    "MultiChipTopology",
+    "ChipBreakdown",
+    "chip_breakdown",
+    "multichip",
     "RoutingTable",
     "WestFirstRouting",
     "xy_routing",

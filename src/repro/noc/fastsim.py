@@ -158,6 +158,16 @@ class FastNocStats(NocStats):
             dtype=np.int64,
         )
 
+    def delivery_endpoints(self):
+        if getattr(self, "_delivered", None) is None:
+            yield from super().delivery_endpoints()
+            return
+        p_meta = self._p_meta
+        node_ids = self._node_ids
+        for pid, dst, at, _ in self._columns():
+            meta = p_meta[pid]
+            yield meta[2], node_ids[dst], at - meta[3]
+
 
 class FastInterconnect:
     """Vectorized drop-in replacement for :class:`Interconnect`.

@@ -62,6 +62,10 @@ class ScheduleSummary(NamedTuple):
     Everything swarm scoring reads off a simulation, as plain integers:
     tiny to pickle, exact to compare (worker-vs-serial equivalence tests
     use ``==`` on whole summaries, no float tolerance needed).
+
+    The four trailing fields carry the multi-chip breakdown and stay
+    zero on single-chip fabrics (or when :func:`summarize` is called
+    without a topology).
     """
 
     n_injected: int
@@ -72,6 +76,10 @@ class ScheduleSummary(NamedTuple):
     max_latency: int
     cycles_run: int
     peak_buffer_occupancy: int
+    inter_chip_hops: int = 0
+    bridge_crossings: int = 0
+    inter_chip_latency_sum: int = 0
+    inter_chip_delivered: int = 0
 
     @property
     def undelivered(self) -> int:
@@ -83,15 +91,41 @@ class ScheduleSummary(NamedTuple):
             return 0.0
         return self.latency_sum / self.delivered
 
+    @property
+    def intra_chip_hops(self) -> int:
+        return self.total_hops - self.inter_chip_hops
 
-def summarize(stats: NocStats) -> ScheduleSummary:
+    @property
+    def mean_inter_chip_latency(self) -> float:
+        if self.inter_chip_delivered == 0:
+            return 0.0
+        return self.inter_chip_latency_sum / self.inter_chip_delivered
+
+
+def summarize(
+    stats: NocStats, topology: Optional[Topology] = None
+) -> ScheduleSummary:
     """Collapse a :class:`NocStats` into its :class:`ScheduleSummary`.
 
     Works on both backends; on :class:`~repro.noc.fastsim.FastNocStats`
     it reads the lazy columns directly and never materializes
-    per-delivery records.
+    per-delivery records.  Pass the simulated topology to fill the
+    multi-chip breakdown fields (inter-chip hops, bridge crossings and
+    the inter-chip latency split); they stay zero for flat topologies,
+    so the summary of a single-chip run is unchanged by the argument.
     """
+    from repro.noc.multichip import MultiChipTopology
+
     lat = stats.latencies()
+    inter_hops = crossings = inter_lat = inter_n = 0
+    if isinstance(topology, MultiChipTopology) and topology.n_chips > 1:
+        inter_hops = topology.inter_chip_hops(stats.link_loads)
+        crossings = topology.bridge_crossings(stats.link_loads)
+        chip_of = topology.chip_of_router
+        for src, dst, latency in stats.delivery_endpoints():
+            if chip_of[src] != chip_of[dst]:
+                inter_n += 1
+                inter_lat += latency
     return ScheduleSummary(
         n_injected=stats.n_injected,
         n_expected=stats.n_expected_deliveries,
@@ -101,6 +135,10 @@ def summarize(stats: NocStats) -> ScheduleSummary:
         max_latency=int(lat.max()) if lat.size else 0,
         cycles_run=stats.cycles_run,
         peak_buffer_occupancy=stats.peak_buffer_occupancy,
+        inter_chip_hops=inter_hops,
+        bridge_crossings=crossings,
+        inter_chip_latency_sum=inter_lat,
+        inter_chip_delivered=inter_n,
     )
 
 
@@ -148,7 +186,9 @@ def _run_chunk(
     """Simulate one chunk of schedules; tag results with the batch offset."""
     start, schedules = task
     sim = _WORKER_SIM
-    return start, [summarize(s) for s in sim.simulate_many(schedules)]
+    return start, [
+        summarize(s, sim.topology) for s in sim.simulate_many(schedules)
+    ]
 
 
 # -- parent side -------------------------------------------------------------
@@ -260,7 +300,10 @@ class ParallelNocSimulator:
     def _summarize_serial(
         self, schedules: Sequence[Sequence[Injection]]
     ) -> List[ScheduleSummary]:
-        return [summarize(s) for s in self._sim.simulate_many(schedules)]
+        return [
+            summarize(s, self._sim.topology)
+            for s in self._sim.simulate_many(schedules)
+        ]
 
     def summarize_many(
         self, schedules: Sequence[Sequence[Injection]]

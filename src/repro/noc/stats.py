@@ -80,6 +80,22 @@ class NocStats:
             dtype=np.int64,
         )
 
+    def delivery_endpoints(self):
+        """Yield ``(src_node, dst_node, latency)`` per delivery.
+
+        The chip-breakdown path classifies deliveries by their
+        endpoints' owning chips; this accessor exists so the fast
+        backend can answer from its lazy columns without materializing
+        :class:`DeliveryRecord` objects.  Iteration order is
+        unspecified (consumers aggregate).
+        """
+        for r in self.deliveries:
+            yield (
+                r.src_node,
+                r.dst_node,
+                r.delivered_cycle - r.injected_cycle,
+            )
+
     def max_latency(self) -> int:
         """Worst-case spike latency on the interconnect (paper Table II row)."""
         lat = self.latencies()

@@ -47,6 +47,13 @@ class Topology:
             raise ValueError("attach points must be distinct routers")
         if not nx.is_connected(self.graph):
             raise ValueError("topology graph must be connected")
+        # Lazily filled caches (plain attributes, not dataclass fields):
+        # fitness and placement both need the same derived quantities on
+        # the same topology instance, repeatedly.  Valid as long as the
+        # graph is not mutated after first use — builders that derive
+        # one topology from another always construct a fresh instance.
+        self._diameter: Optional[int] = None
+        self._hop_matrices: Dict[str, "object"] = {}
 
     @property
     def n_routers(self) -> int:
@@ -66,8 +73,44 @@ class Topology:
         return self.attach_points[k]
 
     def diameter(self) -> int:
-        """Longest shortest-path (hops) between any two routers."""
-        return nx.diameter(self.graph)
+        """Longest shortest-path (hops) between any two routers (cached)."""
+        if self._diameter is None:
+            self._diameter = nx.diameter(self.graph)
+        return self._diameter
+
+    def crossbar_hop_matrix(self, routing=None):
+        """All-pairs routed hop distances between attach points, cached.
+
+        ``matrix[k1, k2]`` is the routed hop count from crossbar ``k1``'s
+        router to crossbar ``k2``'s.  Fitness evaluation and placement
+        both consume this matrix, often many times per run on the same
+        topology, so it is computed once per (topology instance, routing
+        algorithm) and returned read-only.  Pass a routing table to
+        price a non-default algorithm; distinct table instances of the
+        same algorithm share one cache entry (keyed by ``routing.name``)
+        because they produce identical distances.
+        """
+        import numpy as np
+
+        if routing is None:
+            from repro.noc.routing import routing_for
+
+            routing = routing_for(self)
+        cached = self._hop_matrices.get(routing.name)
+        if cached is None:
+            c = self.n_attach_points
+            matrix = np.zeros((c, c), dtype=np.float64)
+            nodes = self.attach_points
+            for k1 in range(c):
+                for k2 in range(c):
+                    if k1 != k2:
+                        matrix[k1, k2] = routing.distance(
+                            nodes[k1], nodes[k2]
+                        )
+            matrix.flags.writeable = False
+            self._hop_matrices[routing.name] = matrix
+            cached = matrix
+        return cached
 
     def describe(self) -> str:
         return (
@@ -196,13 +239,33 @@ def mesh_for(n_crossbars: int) -> Topology:
     )
 
 
+def _multichip_for(n_crossbars: int, **kwargs) -> Topology:
+    from repro.noc.multichip import multichip
+
+    return multichip(
+        n_crossbars,
+        n_chips=kwargs.get("n_chips", 2),
+        chip_kind=kwargs.get("chip_kind", "mesh"),
+        bridge_latency=kwargs.get("bridge_latency", 1),
+        arity=kwargs.get("arity", 2),
+    )
+
+
 def build_topology(kind: str, n_crossbars: int, **kwargs) -> Topology:
-    """Topology factory keyed by family name ("tree", "mesh", "star", "torus")."""
+    """Topology factory keyed by family name.
+
+    Single-chip families are "tree", "mesh", "star" and "torus";
+    "multichip" composes several single-chip fabrics with bridge links
+    (see :mod:`repro.noc.multichip`) and accepts ``n_chips``,
+    ``chip_kind`` and ``bridge_latency`` keywords.  Unknown kinds raise
+    a ``ValueError`` naming every known option.
+    """
     builders = {
         "tree": lambda: tree(n_crossbars, arity=kwargs.get("arity", 2)),
         "mesh": lambda: mesh_for(n_crossbars),
         "star": lambda: star(n_crossbars),
         "torus": lambda: _torus_for(n_crossbars),
+        "multichip": lambda: _multichip_for(n_crossbars, **kwargs),
     }
     if kind not in builders:
         raise ValueError(f"unknown topology kind {kind!r}; options: {sorted(builders)}")

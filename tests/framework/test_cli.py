@@ -73,3 +73,62 @@ class TestCommands:
         ])
         assert code == 0
         assert "test-chip" in capsys.readouterr().out
+
+
+class TestMultiChipCli:
+    def test_chip_flag_defaults(self):
+        args = build_parser().parse_args(["map", "--app", "hello_world"])
+        assert args.chips == 1
+        assert args.chip_topology is None
+        assert args.bridge_latency == 4
+        assert args.bridge_energy is None
+
+    def test_map_two_chips(self, capsys):
+        code = main([
+            "map", "--app", "synth_1x20", "--seed", "3",
+            "--duration", "100", "--crossbars", "4", "--capacity", "10",
+            "--interconnect", "mesh", "--chips", "2",
+            "--bridge-latency", "2", "--bridge-energy", "60",
+            "--particles", "10", "--iterations", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 chips of mesh" in out
+        assert "Inter-chip hops" in out
+
+    def test_explore_chip_counts(self, capsys):
+        code = main([
+            "explore", "--app", "synth_1x20", "--seed", "3",
+            "--duration", "100", "--crossbars", "4", "--capacity", "10",
+            "--interconnect", "mesh", "--chip-counts", "1", "2",
+            "--method", "pacman", "--particles", "5", "--iterations", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chips" in out
+        assert "inter-chip hops" in out
+
+    def test_chip_topology_overrides_interconnect(self):
+        args = build_parser().parse_args([
+            "map", "--app", "x", "--chips", "2", "--chip-topology", "star",
+        ])
+        assert args.chip_topology == "star"
+
+    def test_explore_size_sweep_honors_chip_flags(self, capsys):
+        """--chips applies to the crossbar-size sweep, not only --chip-counts."""
+        args = [
+            "explore", "--app", "synth_1x20", "--seed", "3",
+            "--duration", "100", "--sizes", "10",
+            "--interconnect", "mesh", "--method", "pacman",
+            "--particles", "5", "--iterations", "2",
+        ]
+        assert main(args) == 0
+        flat_out = capsys.readouterr().out
+        assert main(args + ["--chips", "2", "--bridge-latency", "8"]) == 0
+        split_out = capsys.readouterr().out
+
+        def latency(out):
+            row = [ln for ln in out.splitlines() if ln.startswith("10")][0]
+            return int(row.split("|")[-1])
+
+        assert latency(split_out) > latency(flat_out)

@@ -110,3 +110,99 @@ class TestExploreSwarmSize:
             n_iterations=15, seed=1,
         )
         assert points[1].global_spikes <= points[0].global_spikes
+
+
+class TestExploreChips:
+    def test_chip_sweep_shapes(self, tiny_graph):
+        from repro.framework.exploration import explore_chips
+
+        base = custom(n_crossbars=4, neurons_per_crossbar=2,
+                      interconnect="mesh", name="board")
+        points = explore_chips(
+            tiny_graph, base, chip_counts=[1, 2, 4], method="pacman", seed=0,
+        )
+        assert [p.n_chips for p in points] == [1, 2, 4]
+        assert points[0].n_bridges == 0
+        assert points[0].inter_chip_hops == 0
+        assert points[1].n_bridges == 1
+        assert points[2].n_bridges == 4
+
+    def test_more_chips_cost_more_global_energy(self, tiny_graph):
+        """Same mapping problem; splitting it over bridges must not be free."""
+        from dataclasses import replace
+
+        from repro.framework.exploration import explore_chips
+        from repro.hardware.energy_model import EnergyModel
+
+        base = replace(
+            custom(n_crossbars=4, neurons_per_crossbar=2,
+                   interconnect="mesh", bridge_latency=4),
+            energy=EnergyModel(e_bridge_pj=100.0),
+        )
+        one, four = explore_chips(
+            tiny_graph, base, chip_counts=[1, 4], method="pacman", seed=0,
+        )
+        if four.global_spikes > 0:
+            assert four.global_energy_uj >= one.global_energy_uj
+            assert four.bridge_crossings > 0
+
+
+class TestMultiChipEstimates:
+    def test_estimate_charges_bridge_crossings(self, tiny_graph):
+        """Analytic estimate prices bridges like the simulator does."""
+        import numpy as np
+
+        from dataclasses import replace
+        from repro.hardware.energy_model import EnergyModel
+
+        flat = custom(n_crossbars=2, neurons_per_crossbar=4,
+                      interconnect="mesh", name="flat")
+        board = replace(flat, n_chips=2, name="board",
+                        energy=EnergyModel(e_bridge_pj=500.0))
+        a = np.asarray([0, 0, 0, 0, 1, 1, 1, 1])
+        flat_pj = estimate_interconnect_energy_pj(tiny_graph, a, flat)
+        board_pj = estimate_interconnect_energy_pj(tiny_graph, a, board)
+        # 2 chips of 1 crossbar each: every remote flow crosses exactly
+        # one bridge, so the difference is the crossing spikes * 500 pJ
+        # (bridge_latency=1 keeps routed distances identical to flat).
+        from repro.core.traffic_matrix import TrafficMatrix
+        from repro.noc.traffic import global_destinations
+
+        spikes = TrafficMatrix(tiny_graph).neuron_spikes
+        crossing = sum(
+            float(spikes[n]) * len(cs)
+            for n, cs in global_destinations(tiny_graph, a).items()
+        )
+        assert board_pj == pytest.approx(flat_pj + crossing * 500.0)
+
+    def test_synapse_estimate_charges_bridges(self, tiny_graph):
+        import numpy as np
+
+        from dataclasses import replace
+        from repro.framework.exploration import estimate_synapse_energy_pj
+        from repro.hardware.energy_model import EnergyModel
+
+        flat = custom(n_crossbars=2, neurons_per_crossbar=4,
+                      interconnect="mesh", name="flat")
+        board = replace(flat, n_chips=2, name="board",
+                        energy=EnergyModel(e_bridge_pj=500.0))
+        a = np.asarray([0, 0, 0, 0, 1, 1, 1, 1])
+        assert estimate_synapse_energy_pj(tiny_graph, a, board) > (
+            estimate_synapse_energy_pj(tiny_graph, a, flat)
+        )
+
+    def test_explore_architecture_carries_chips_through_scaling(self, tiny_graph):
+        """The Fig. 6 sweep keeps the base's multi-chip split per point."""
+        base = custom(n_crossbars=4, neurons_per_crossbar=2,
+                      interconnect="mesh", n_chips=2, bridge_latency=4)
+        flat = custom(n_crossbars=4, neurons_per_crossbar=2,
+                      interconnect="mesh")
+        split = explore_architecture(
+            tiny_graph, base, crossbar_sizes=[2], method="pacman", seed=0
+        )[0]
+        single = explore_architecture(
+            tiny_graph, flat, crossbar_sizes=[2], method="pacman", seed=0
+        )[0]
+        # Same mapping problem, but the split platform pays bridge
+        # latency on cross-chip traffic.
+        assert split.max_latency_cycles > single.max_latency_cycles

@@ -94,3 +94,30 @@ class TestArchitectureConfig:
         assert arch.energy.e_router_pj == 1.0
         # Unspecified coefficients keep their defaults.
         assert arch.energy.e_encode_pj == EnergyModel().e_encode_pj
+
+
+class TestMultiChipConfig:
+    def test_round_trip_chip_fields(self, tmp_path):
+        arch = custom(8, 32, interconnect="mesh", n_chips=2, bridge_latency=6)
+        path = tmp_path / "board.yaml"
+        save_architecture(arch, path)
+        loaded = load_architecture(path)
+        assert loaded.n_chips == 2
+        assert loaded.bridge_latency == 6
+        assert loaded.energy == arch.energy
+
+    def test_defaults_to_single_chip(self):
+        arch = architecture_from_config(
+            {"n_crossbars": 4, "neurons_per_crossbar": 8}
+        )
+        assert arch.n_chips == 1
+        assert arch.bridge_latency == 1
+
+    def test_config_text_carries_bridge_energy(self, tmp_path):
+        from repro.hardware.energy_model import EnergyModel
+
+        arch = custom(4, 8, n_chips=2, energy=EnergyModel(e_bridge_pj=99.0))
+        path = tmp_path / "board.yaml"
+        save_architecture(arch, path)
+        assert "e_bridge_pj: 99.0" in path.read_text(encoding="utf-8")
+        assert load_architecture(path).energy.e_bridge_pj == 99.0

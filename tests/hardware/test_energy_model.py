@@ -76,3 +76,52 @@ class TestConfigRoundTrip:
     def test_negative_coefficient_rejected(self):
         with pytest.raises(ValueError):
             EnergyModel(e_router_pj=-1.0)
+
+
+class TestBridgeEnergy:
+    def _multichip_stats(self):
+        from repro.noc.fastsim import FastInterconnect
+        from repro.noc.interconnect import NocConfig
+        from repro.noc.multichip import multichip
+        from repro.noc.traffic import synthetic_injections
+
+        topo = multichip(8, n_chips=2, chip_kind="mesh", bridge_latency=2)
+        schedule = synthetic_injections([0.3] * 8, topo, 60, fanout=2, seed=6)
+        stats = FastInterconnect(
+            topo, config=NocConfig(backend="fast")
+        ).simulate(schedule.injections)
+        return topo, stats
+
+    def test_bridge_term_charged_per_crossing(self):
+        topo, stats = self._multichip_stats()
+        model = EnergyModel(e_bridge_pj=50.0)
+        crossings = topo.bridge_crossings(stats.link_loads)
+        assert crossings > 0
+        assert model.global_energy_pj(stats, topo) == pytest.approx(
+            model.global_energy_pj(stats) + crossings * 50.0
+        )
+
+    def test_flat_topology_adds_nothing(self):
+        from repro.noc.topology import build_topology
+
+        topo, stats = self._multichip_stats()
+        flat = build_topology("mesh", 4)
+        model = EnergyModel(e_bridge_pj=50.0)
+        assert model.global_energy_pj(stats, flat) == model.global_energy_pj(stats)
+
+    def test_estimate_includes_bridge_crossings(self):
+        model = EnergyModel(e_router_pj=1.0, e_link_pj=1.0, e_encode_pj=0.0,
+                            e_decode_pj=0.0, e_bridge_pj=10.0)
+        base = model.estimate_global_energy_pj(5.0, 2.0, 2.0)
+        with_bridges = model.estimate_global_energy_pj(
+            5.0, 2.0, 2.0, bridge_crossings=3.0
+        )
+        assert with_bridges == base + 30.0
+
+    def test_negative_bridge_energy_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(e_bridge_pj=-1.0)
+
+    def test_round_trip_carries_bridge_energy(self):
+        model = EnergyModel(e_bridge_pj=77.0)
+        assert EnergyModel.from_dict(model.to_dict()).e_bridge_pj == 77.0

@@ -50,3 +50,27 @@ class TestBuildReport:
         # costs more per local event.
         assert (r_big.report.local_energy_pj
                 > r_small.report.local_energy_pj)
+
+
+class TestMultiChipReport:
+    def test_report_carries_chip_breakdown(self, tiny_graph):
+        from repro.hardware.presets import custom
+
+        arch = custom(n_crossbars=4, neurons_per_crossbar=2,
+                      interconnect="mesh", n_chips=2, bridge_latency=3,
+                      name="board")
+        result = run_pipeline(tiny_graph, arch, method="pacman")
+        report = result.report
+        assert report.n_chips == 2
+        d = report.to_dict()
+        assert "inter_chip_hops" in d
+        assert "bridge_crossings" in d
+        if report.bridge_crossings:
+            assert report.inter_chip_hops == report.bridge_crossings * 3
+            assert "Bridge crossings" in report.table()
+
+    def test_flat_report_defaults(self, tiny_graph, two_cluster_arch):
+        result = run_pipeline(tiny_graph, two_cluster_arch, method="pacman")
+        assert result.report.n_chips == 1
+        assert result.report.inter_chip_hops == 0
+        assert "Bridge crossings" not in result.report.table()

@@ -72,6 +72,16 @@ class TestStar:
     def test_diameter_two(self):
         assert star(4).diameter() == 2
 
+    def test_single_crossbar_star(self):
+        """The degenerate 1-crossbar star stays connected and routable."""
+        topo = star(1)
+        assert topo.n_routers == 2           # crossbar 0 + hub 1
+        assert topo.attach_points == [0]
+        assert topo.node_of_crossbar(0) == 0
+        from repro.noc.routing import routing_for
+        routing = routing_for(topo)
+        assert routing.distance(0, 1) == 1
+
 
 class TestTorus:
     def test_wraparound_links(self):
@@ -81,6 +91,102 @@ class TestTorus:
 
     def test_smaller_diameter_than_mesh(self):
         assert torus(4).diameter() < mesh(4).diameter()
+
+    def test_width_two_adds_no_duplicate_wrap(self):
+        """A 2-wide dimension already has the wrap link as a mesh edge."""
+        topo = torus(2, 3)
+        assert topo.graph.number_of_edges() == mesh(2, 3).graph.number_of_edges() + 2
+
+    @pytest.mark.parametrize("n", [3, 5, 6, 7, 11])
+    def test_torus_for_non_square_sizes(self, n):
+        from repro.noc.topology import _torus_for
+
+        topo = _torus_for(n)
+        assert topo.n_attach_points == n
+        assert topo.kind == "torus"
+        assert nx.is_connected(topo.graph)
+        # Attach points are the first n routers, each carrying a position.
+        for k in range(n):
+            assert topo.node_of_crossbar(k) in topo.positions
+
+    def test_torus_for_five_wraps_rows_only(self):
+        # 5 crossbars -> 3x2 grid: width 3 wraps, height 2 does not.
+        topo = _import_torus_for()(5)
+        assert topo.graph.has_edge(0, 2)          # row wrap on width 3
+        assert topo.n_routers == 6
+
+
+def _import_torus_for():
+    from repro.noc.topology import _torus_for
+
+    return _torus_for
+
+
+class TestXYRoutingPositions:
+    def test_xy_requires_positions(self):
+        from repro.noc.routing import xy_routing
+
+        with pytest.raises(ValueError, match="positions"):
+            xy_routing(tree(4))
+
+    def test_torus_positions_support_xy(self):
+        """Tori keep full grid positions, so XY routing stays valid."""
+        from repro.noc.routing import xy_routing
+
+        topo = torus(3, 2)
+        routing = xy_routing(topo)
+        assert routing.distance(0, 5) == 3  # manhattan on the grid
+
+    def test_mesh_for_positions_cover_attach_points(self):
+        topo = mesh_for(7)
+        for k in range(7):
+            assert topo.node_of_crossbar(k) in topo.positions
+
+
+class TestCaching:
+    def test_diameter_cached(self, monkeypatch):
+        topo = mesh(3)
+        first = topo.diameter()
+        import repro.noc.topology as topo_mod
+
+        def boom(_):
+            raise AssertionError("diameter recomputed despite cache")
+
+        monkeypatch.setattr(topo_mod.nx, "diameter", boom)
+        assert topo.diameter() == first
+
+    def test_hop_matrix_cached_per_routing(self):
+        from repro.noc.routing import routing_for, shortest_path_routing
+
+        topo = mesh(3)
+        routing = routing_for(topo)
+        first = topo.crossbar_hop_matrix(routing)
+        assert topo.crossbar_hop_matrix(routing) is first
+        # Distinct instances of the same algorithm share the cache entry.
+        assert topo.crossbar_hop_matrix(routing_for(topo)) is first
+        # A different algorithm gets its own entry.
+        other = topo.crossbar_hop_matrix(shortest_path_routing(topo))
+        assert other is not first
+
+    def test_hop_matrix_read_only_and_correct(self):
+        from repro.noc.routing import routing_for
+
+        topo = mesh(3)
+        routing = routing_for(topo)
+        matrix = topo.crossbar_hop_matrix(routing)
+        assert not matrix.flags.writeable
+        for k1 in range(topo.n_attach_points):
+            for k2 in range(topo.n_attach_points):
+                expected = 0 if k1 == k2 else routing.distance(
+                    topo.node_of_crossbar(k1), topo.node_of_crossbar(k2)
+                )
+                assert matrix[k1, k2] == expected
+
+    def test_default_routing_hop_matrix(self):
+        topo = tree(4)
+        matrix = topo.crossbar_hop_matrix()
+        assert matrix.shape == (4, 4)
+        assert matrix[0, 1] == 2.0
 
 
 class TestMeshFor:
@@ -92,7 +198,9 @@ class TestMeshFor:
 
 
 class TestBuildTopology:
-    @pytest.mark.parametrize("kind", ["tree", "mesh", "star", "torus"])
+    @pytest.mark.parametrize(
+        "kind", ["tree", "mesh", "star", "torus", "multichip"]
+    )
     def test_families(self, kind):
         topo = build_topology(kind, 6)
         assert topo.n_attach_points == 6
@@ -100,6 +208,14 @@ class TestBuildTopology:
     def test_unknown_kind_raises(self):
         with pytest.raises(ValueError, match="unknown"):
             build_topology("hypercube", 4)
+
+    def test_unknown_kind_lists_options(self):
+        """The error is a ValueError naming every known family."""
+        with pytest.raises(ValueError) as excinfo:
+            build_topology("hypercube", 4)
+        message = str(excinfo.value)
+        for kind in ("tree", "mesh", "star", "torus", "multichip"):
+            assert kind in message
 
 
 class TestTopologyValidation:
