@@ -33,8 +33,8 @@ setup(
     packages=find_packages(where="src"),
     package_data={"repro.noc": ["_fastsim_kernel.c"]},
     install_requires=[
-        "numpy>=1.24",
-        "scipy>=1.10",
+        "numpy>=2.0",  # np.bitwise_count (columnar mask popcounts)
+        "scipy>=1.13",  # first scipy ABI-compatible with numpy 2
         "networkx>=3.0",
     ],
     extras_require={

@@ -238,21 +238,22 @@ class InterconnectFitness:
             cycles_per_ms=self.cycles_per_ms,
         )
         return self._score(
-            summarize(self._noc.simulate(schedule.injections), self.topology)
+            summarize(self._noc.simulate(schedule), self.topology)
         )
 
     def _simulate_batch(self, assignments: np.ndarray) -> np.ndarray:
         from repro.noc.parallel import ParallelNocSimulator, summarize
-        from repro.noc.traffic import build_injections
+        from repro.noc.traffic import build_injections_batch
 
         self._check_clusters(assignments)
-        schedules = [
-            build_injections(
-                self.graph, row, self.topology,
-                cycles_per_ms=self.cycles_per_ms,
-            ).injections
-            for row in assignments
-        ]
+        # One columnar batch: spike events are computed once and each
+        # particle only re-derives its destination sets; the schedules
+        # flow to the simulator (and across worker processes) as array
+        # shards, never as per-packet Injection objects.
+        schedules = build_injections_batch(
+            self.graph, assignments, self.topology,
+            cycles_per_ms=self.cycles_per_ms,
+        )
         if self.workers > 1:
             if self._parallel is None:
                 self._parallel = ParallelNocSimulator(

@@ -18,7 +18,7 @@ from repro.noc.fastsim import build_interconnect
 from repro.noc.interconnect import NocConfig
 from repro.noc.stats import NocStats
 from repro.noc.topology import Topology
-from repro.noc.traffic import InjectionSchedule, build_injections
+from repro.noc.traffic import ColumnarSchedule, build_injections
 from repro.snn.graph import SpikeGraph
 from repro.utils.rng import SeedLike
 
@@ -30,7 +30,7 @@ class PipelineResult:
     graph: SpikeGraph
     architecture: Architecture
     mapping: MappingResult
-    schedule: InjectionSchedule
+    schedule: ColumnarSchedule
     noc_stats: NocStats
     report: MetricReport
     topology: Optional[Topology] = None
@@ -95,7 +95,10 @@ def run_pipeline(
     )
     if simulate_noc:
         interconnect = build_interconnect(topology, config=noc_config)
-        stats = interconnect.simulate(schedule.injections)
+        # Both backends accept the schedule object: the fast backend
+        # adopts the columnar arrays directly, the reference loop reads
+        # the lazily materialized legacy injection list.
+        stats = interconnect.simulate(schedule)
     else:
         stats = NocStats()
     report = build_report(graph.name, mapping, stats, architecture, topology)

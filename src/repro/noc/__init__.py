@@ -22,7 +22,9 @@ surface:
   process pool (``ParallelNocSimulator``), returning compact columnar
   ``ScheduleSummary`` results that are bit-identical to serial runs;
 - :mod:`repro.noc.traffic` — converts a mapped spike graph into AER packet
-  injection schedules;
+  injection schedules, built columnar (``ColumnarSchedule`` arrays the
+  fast backend consumes directly, with a lazy legacy ``Injection`` view)
+  and batched across whole swarms via ``build_injections_batch``;
 - :mod:`repro.noc.stats` — per-packet delivery records and link utilization
   from which latency / throughput / energy / disorder / ISI metrics derive.
 """
@@ -52,7 +54,12 @@ from repro.noc.parallel import (
     summarize,
 )
 from repro.noc.stats import DeliveryRecord, NocStats
-from repro.noc.traffic import InjectionSchedule, build_injections
+from repro.noc.traffic import (
+    ColumnarSchedule,
+    InjectionSchedule,
+    build_injections,
+    build_injections_batch,
+)
 from repro.noc.faults import degrade_topology, inject_random_faults
 
 __all__ = [
@@ -86,6 +93,8 @@ __all__ = [
     "NocConfig",
     "NocStats",
     "DeliveryRecord",
+    "ColumnarSchedule",
     "InjectionSchedule",
     "build_injections",
+    "build_injections_batch",
 ]

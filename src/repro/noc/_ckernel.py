@@ -63,6 +63,10 @@ _ARGTYPES = [
     _i32p,           # peaks
 ]
 
+# The multi-word entry point takes n_words right after n_routers; the
+# mask-carrying pointers then address n_words uint64 per entry.
+_ARGTYPES_MW = _ARGTYPES[:1] + [ctypes.c_int32] + _ARGTYPES[1:]
+
 _cached: Optional[ctypes.CDLL] = None
 _load_attempted = False
 
@@ -110,6 +114,10 @@ def load_kernel() -> Optional[ctypes.CDLL]:
         lib = ctypes.CDLL(_SO)
         lib.nocsim_run.argtypes = _ARGTYPES
         lib.nocsim_run.restype = ctypes.POINTER(KernelResult)
+        # A stale .so predating the multi-word variant raises
+        # AttributeError here and falls through to the Python engine.
+        lib.nocsim_run_mw.argtypes = _ARGTYPES_MW
+        lib.nocsim_run_mw.restype = ctypes.POINTER(KernelResult)
         lib.nocsim_free.argtypes = [ctypes.POINTER(KernelResult)]
         lib.nocsim_free.restype = None
         _cached = lib

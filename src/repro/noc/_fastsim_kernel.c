@@ -2,9 +2,15 @@
  *
  * This is a mechanical transcription of the cycle-accurate reference
  * loop in repro/noc/interconnect.py (and of the pure-Python engine in
- * repro/noc/fastsim.py) restricted to the common case the kernel is
- * allowed to handle: deterministic routing and at most 63 routers, so
- * a packet's remaining destination set is one uint64 bitmask.
+ * repro/noc/fastsim.py) restricted to deterministic routing.  Two entry
+ * points share the semantics:
+ *
+ *   - nocsim_run    — at most 63 routers; a packet's remaining
+ *                     destination set is one uint64 bitmask;
+ *   - nocsim_run_mw — multi-word masks (n_words uint64 per packet /
+ *                     per next-hop table entry), opening the compiled
+ *                     path to TrueNorth-scale fabrics (16x16 meshes,
+ *                     large multichip boards).
  *
  * Semantics reproduced bit for bit:
  *   - routers arbitrate in ascending index order each cycle;
@@ -353,6 +359,301 @@ cleanup:
     }
     free(qcount);
     free(gp_owner);
+    free(pool.mask);
+    free(pool.hops);
+    free(pool.meta);
+    free(staged);
+    free(dlog.meta);
+    free(dlog.dst);
+    free(dlog.cycle);
+    free(dlog.hops);
+    return res;
+}
+
+/* ------------------------------------------------------------------ */
+/* Multi-word variant: destination masks are n_words uint64 each.     */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    uint64_t *mask; /* len * nw words, packet i at mask + i * nw */
+    int32_t *hops;
+    int32_t *meta;
+    int64_t len;
+    int64_t cap;
+} PoolMW;
+
+static int pool_mw_push(PoolMW *p, int32_t nw, const uint64_t *mask,
+                        int32_t hops, int32_t meta) {
+    if (p->len == p->cap) {
+        int64_t ncap = p->cap * 2;
+        uint64_t *nm = (uint64_t *)realloc(
+            p->mask, (size_t)ncap * nw * sizeof(uint64_t));
+        int32_t *nh = (int32_t *)realloc(p->hops, (size_t)ncap * sizeof(int32_t));
+        int32_t *nt = (int32_t *)realloc(p->meta, (size_t)ncap * sizeof(int32_t));
+        if (nm) p->mask = nm;
+        if (nh) p->hops = nh;
+        if (nt) p->meta = nt;
+        if (!nm || !nh || !nt) return -1;
+        p->cap = ncap;
+    }
+    memcpy(p->mask + p->len * nw, mask, (size_t)nw * sizeof(uint64_t));
+    p->hops[p->len] = hops;
+    p->meta[p->len] = meta;
+    p->len++;
+    return 0;
+}
+
+Result *nocsim_run_mw(
+    /* topology tables */
+    int32_t n_routers,
+    int32_t n_words,
+    int32_t n_flat_ports,
+    const int32_t *port_base,   /* [n_routers] */
+    const int32_t *nports,      /* [n_routers] 1 + degree */
+    const int32_t *deg_off,     /* [n_routers+1] offsets into per-neighbor tables */
+    const int32_t *nbr,         /* [deg_total] neighbor router index */
+    const uint64_t *out_mask,   /* [deg_total * n_words] dst mask via this neighbor */
+    const int32_t *out_gp,      /* [deg_total] downstream global port */
+    const int32_t *out_eidx,    /* [deg_total] directed edge id */
+    /* config */
+    int32_t capacity,
+    int32_t ej_max,
+    int64_t deadline,
+    /* initial packets (pool prefix; meta[i] == i) */
+    int64_t n_packets,
+    const uint64_t *pk_mask,    /* [n_packets * n_words] */
+    const int32_t *pk_srcgp,    /* local injection port of the source */
+    /* injection schedule: buckets of pool indices per cycle */
+    int64_t n_buckets,
+    const int64_t *bucket_cycle,
+    const int64_t *bucket_off,  /* [n_buckets+1] */
+    const int32_t *bucket_pid,  /* [n_packets] */
+    /* outputs (host-allocated) */
+    int64_t *link_counts,       /* [n_edges], zeroed by host */
+    int32_t *peaks              /* [n_flat_ports], zeroed by host */
+) {
+    const int32_t nw = n_words;
+    (void)nbr; /* output-port claims go through out_stamp, not neighbor ids */
+    Result *res = (Result *)calloc(1, sizeof(Result));
+    if (!res) return NULL;
+
+    int32_t deg_total = deg_off[n_routers];
+    int32_t nbw = (n_routers + 63) >> 6; /* busy-mask words over routers */
+
+    Fifo *bufs = (Fifo *)calloc((size_t)n_flat_ports, sizeof(Fifo));
+    int32_t *qcount = (int32_t *)calloc((size_t)n_routers, sizeof(int32_t));
+    int32_t *gp_owner = (int32_t *)malloc((size_t)n_flat_ports * sizeof(int32_t));
+    uint64_t *busy = (uint64_t *)calloc((size_t)nbw, sizeof(uint64_t));
+    /* Per-(router, neighbor-slot) output claim: slot q is used this
+     * cycle iff out_stamp[q] == cycle (replaces the single-word
+     * kernel's outputs_used bitmask, which cannot index >63 routers). */
+    int64_t *out_stamp = (int64_t *)malloc((size_t)deg_total * sizeof(int64_t));
+    uint64_t *hm = (uint64_t *)malloc((size_t)nw * sizeof(uint64_t));
+    uint64_t *gr = (uint64_t *)malloc((size_t)nw * sizeof(uint64_t));
+    uint64_t *prog = (uint64_t *)malloc((size_t)nw * sizeof(uint64_t));
+    PoolMW pool = {0};
+    Log dlog = {0};
+    Staged *staged = NULL;
+    int64_t staged_cap = 256, staged_len = 0;
+    staged = (Staged *)malloc((size_t)staged_cap * sizeof(Staged));
+
+    pool.cap = n_packets > 16 ? n_packets * 2 : 64;
+    pool.mask = (uint64_t *)malloc((size_t)pool.cap * nw * sizeof(uint64_t));
+    pool.hops = (int32_t *)malloc((size_t)pool.cap * sizeof(int32_t));
+    pool.meta = (int32_t *)malloc((size_t)pool.cap * sizeof(int32_t));
+
+    if (!bufs || !qcount || !gp_owner || !busy || !out_stamp || !hm || !gr ||
+        !prog || !staged || !pool.mask || !pool.hops || !pool.meta) {
+        res->status = 1;
+        goto cleanup;
+    }
+    for (int32_t i = 0; i < n_routers; i++) {
+        int32_t np = nports[i];
+        for (int32_t s = 0; s < np; s++) gp_owner[port_base[i] + s] = i;
+    }
+    for (int32_t q = 0; q < deg_total; q++) out_stamp[q] = -1;
+    memcpy(pool.mask, pk_mask, (size_t)n_packets * nw * sizeof(uint64_t));
+    for (int64_t k = 0; k < n_packets; k++) {
+        pool.hops[k] = 0;
+        pool.meta[k] = (int32_t)k;
+    }
+    pool.len = n_packets;
+
+    int64_t in_flight = 0;
+    int64_t pos = 0;
+    int64_t cycle = 0;
+
+    while (cycle <= deadline) {
+        if (pos < n_buckets && bucket_cycle[pos] == cycle) {
+            for (int64_t b = bucket_off[pos]; b < bucket_off[pos + 1]; b++) {
+                int32_t pid = bucket_pid[b];
+                int32_t gp = pk_srcgp[pid];
+                if (fifo_push(&bufs[gp], pid)) { res->status = 1; goto cleanup; }
+                int32_t r = gp_owner[gp];
+                qcount[r]++;
+                busy[r >> 6] |= 1ULL << (r & 63);
+                in_flight++;
+            }
+            pos++;
+        }
+        if (!in_flight) {
+            if (pos >= n_buckets) break;
+            cycle = bucket_cycle[pos]; /* skip idle gap */
+            continue;
+        }
+
+        staged_len = 0;
+        for (int32_t bw = 0; bw < nbw; bw++) {
+            uint64_t scan = busy[bw];
+            while (scan) {
+                int32_t i = (bw << 6) + (int32_t)__builtin_ctzll(scan);
+                scan &= scan - 1;
+                int32_t np = nports[i];
+                int32_t base = port_base[i];
+                int32_t start = (int32_t)(cycle % np);
+                int32_t iw = i >> 6;
+                uint64_t ib = 1ULL << (i & 63);
+                int32_t ejections = 0;
+                int32_t d0 = deg_off[i];
+                int32_t dend = deg_off[i + 1];
+                for (int32_t k = 0; k < np; k++) {
+                    int32_t slot = start + k;
+                    if (slot >= np) slot -= np;
+                    Fifo *dq = &bufs[base + slot];
+                    if (!dq->len) continue;
+                    int32_t pid = dq->a[dq->head];
+                    /* Snapshot the head mask: pool forks may realloc. */
+                    memcpy(hm, pool.mask + (int64_t)pid * nw,
+                           (size_t)nw * sizeof(uint64_t));
+                    for (int32_t w = 0; w < nw; w++) prog[w] = 0;
+                    int has_prog = 0;
+
+                    if (hm[iw] & ib) {
+                        if (ejections < ej_max) {
+                            ejections++;
+                            if (log_push(&dlog, pool.meta[pid], i, cycle,
+                                         pool.hops[pid])) {
+                                res->status = 1; goto cleanup;
+                            }
+                            prog[iw] = ib;
+                            has_prog = 1;
+                        }
+                        int only = 1;
+                        for (int32_t w = 0; w < nw; w++) {
+                            uint64_t want = (w == iw) ? ib : 0;
+                            if (hm[w] != want) { only = 0; break; }
+                        }
+                        if (only) {
+                            if (has_prog) {
+                                fifo_pop(dq);
+                                qcount[i]--;
+                                in_flight--;
+                                if (!qcount[i])
+                                    busy[bw] &= ~(1ULL << (i & 63));
+                            }
+                            continue;
+                        }
+                    }
+
+                    int moved_whole = 0;
+                    for (int32_t q = d0; q < dend; q++) {
+                        const uint64_t *om = out_mask + (int64_t)q * nw;
+                        uint64_t any = 0;
+                        for (int32_t w = 0; w < nw; w++) {
+                            gr[w] = hm[w] & om[w];
+                            any |= gr[w];
+                        }
+                        if (!any) continue;
+                        if (out_stamp[q] == cycle) continue;
+                        int32_t gp2 = out_gp[q];
+                        if (bufs[gp2].len >= capacity) continue; /* backpressure */
+                        int whole = 1;
+                        for (int32_t w = 0; w < nw; w++) {
+                            if (gr[w] != hm[w]) { whole = 0; break; }
+                        }
+                        int32_t npid;
+                        if (whole) {
+                            pool.hops[pid]++;
+                            npid = pid;
+                            moved_whole = 1;
+                        } else {
+                            npid = (int32_t)pool.len;
+                            if (pool_mw_push(&pool, nw, gr,
+                                             pool.hops[pid] + 1,
+                                             pool.meta[pid])) {
+                                res->status = 1; goto cleanup;
+                            }
+                        }
+                        if (staged_len == staged_cap) {
+                            staged_cap *= 2;
+                            Staged *ns = (Staged *)realloc(
+                                staged, (size_t)staged_cap * sizeof(Staged));
+                            if (!ns) { res->status = 1; goto cleanup; }
+                            staged = ns;
+                        }
+                        staged[staged_len].gp = gp2;
+                        staged[staged_len].pid = npid;
+                        staged_len++;
+                        out_stamp[q] = cycle;
+                        link_counts[out_eidx[q]]++;
+                        for (int32_t w = 0; w < nw; w++) prog[w] |= gr[w];
+                        has_prog = 1;
+                    }
+                    if (moved_whole) {
+                        fifo_pop(dq);
+                        qcount[i]--;
+                        in_flight--;
+                        if (!qcount[i]) busy[bw] &= ~(1ULL << (i & 63));
+                    } else if (has_prog) {
+                        uint64_t *pm = pool.mask + (int64_t)pid * nw;
+                        uint64_t rem = 0;
+                        for (int32_t w = 0; w < nw; w++) {
+                            pm[w] = hm[w] & ~prog[w];
+                            rem |= pm[w];
+                        }
+                        if (!rem) {
+                            fifo_pop(dq);
+                            qcount[i]--;
+                            in_flight--;
+                            if (!qcount[i]) busy[bw] &= ~(1ULL << (i & 63));
+                        }
+                    }
+                }
+            }
+        }
+
+        for (int64_t s = 0; s < staged_len; s++) {
+            int32_t gp = staged[s].gp;
+            if (fifo_push(&bufs[gp], staged[s].pid)) { res->status = 1; goto cleanup; }
+            if (bufs[gp].len > peaks[gp]) peaks[gp] = bufs[gp].len;
+            int32_t r = gp_owner[gp];
+            qcount[r]++;
+            busy[r >> 6] |= 1ULL << (r & 63);
+            in_flight++;
+        }
+        cycle++;
+    }
+
+    res->cycles_run = cycle;
+    res->d_meta = dlog.meta;
+    res->d_dst = dlog.dst;
+    res->d_cycle = dlog.cycle;
+    res->d_hops = dlog.hops;
+    res->d_len = dlog.len;
+    dlog.meta = NULL; dlog.dst = NULL; dlog.cycle = NULL; dlog.hops = NULL;
+
+cleanup:
+    if (bufs) {
+        for (int32_t g = 0; g < n_flat_ports; g++) free(bufs[g].a);
+        free(bufs);
+    }
+    free(qcount);
+    free(gp_owner);
+    free(busy);
+    free(out_stamp);
+    free(hm);
+    free(gr);
+    free(prog);
     free(pool.mask);
     free(pool.hops);
     free(pool.meta);

@@ -15,7 +15,15 @@ in a preallocated flat structure:
 - **destination sets as bitmasks** — a packet's remaining destinations
   are one integer bitmask over router indices, so multicast fork /
   eject / progress bookkeeping are single AND/OR operations instead of
-  frozenset algebra;
+  frozenset algebra; for the compiled kernel the masks are laid out as
+  ``(n_packets, n_words)`` uint64 words, one word on fabrics up to 63
+  routers and multi-word beyond (TrueNorth-scale meshes), selecting the
+  matching kernel entry point;
+- **columnar schedules in, columns out** — a
+  :class:`~repro.noc.traffic.ColumnarSchedule` is adopted directly as
+  the packet plan (mask words, source indices and bucket offsets are
+  array slices, not per-packet conversions), and deliveries come back
+  as flat columns;
 - **precomputed next-hop port masks** — for deterministic routing the
   whole routing table collapses into per-router ``(dst_mask, neighbor,
   downstream_port, ...)`` triples: grouping a head packet's
@@ -63,7 +71,7 @@ import ctypes
 import dataclasses
 import itertools
 from collections import deque
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -73,11 +81,57 @@ from repro.noc.packet import Injection
 from repro.noc.routing import RoutingTable, routing_for
 from repro.noc.stats import DeliveryRecord, NocStats
 from repro.noc.topology import Topology
+from repro.noc.traffic import ColumnarSchedule, unpack_destination_bits
+
+#: Anything ``simulate`` accepts: a row-oriented injection sequence (or
+#: an ``InjectionSchedule`` exposing ``.injections``) or the columnar
+#: schedule the traffic builders produce.
+ScheduleLike = Union[Sequence[Injection], ColumnarSchedule]
 
 # Occupancy-indexed arbitration tables grow as n_ports * 2**n_ports per
 # router; beyond this port count (e.g. a big star hub) the engine falls
 # back to scanning the full rotation and skipping empty deques.
 _MAX_TABLE_PORTS = 8
+
+
+class _MetaColumns:
+    """Columnar packet metadata: the struct-of-arrays twin of the
+    per-packet ``(uid, src_neuron, src_node, cycle, src_idx)`` tuples the
+    row-oriented plan carries.  ``__getitem__`` yields that tuple so the
+    lazy record builder works unchanged; the latency path reads the
+    ``cycle`` column directly."""
+
+    __slots__ = ("uid", "src_neuron", "src_node", "cycle", "src_idx")
+
+    def __init__(self, uid, src_neuron, src_node, cycle, src_idx) -> None:
+        self.uid = uid
+        self.src_neuron = src_neuron
+        self.src_node = src_node
+        self.cycle = cycle
+        self.src_idx = src_idx
+
+    def __len__(self) -> int:
+        return int(self.uid.shape[0])
+
+    def __getitem__(self, pid) -> Tuple[int, int, int, int, int]:
+        return (
+            int(self.uid[pid]),
+            int(self.src_neuron[pid]),
+            int(self.src_node[pid]),
+            int(self.cycle[pid]),
+            int(self.src_idx[pid]),
+        )
+
+
+class _ColumnarPlan(NamedTuple):
+    """Array-native packet plan (packet ``pid`` sits in bucket order, so
+    the implicit bucket pid list is ``arange(n_packets)``)."""
+
+    bucket_cycle: np.ndarray  # int64 (n_buckets,) ascending
+    bucket_off: np.ndarray    # int64 (n_buckets + 1,)
+    mask_words: np.ndarray    # uint64 (n_packets, n_words)
+    src_idx: np.ndarray       # int64 (n_packets,) dense source index
+    meta: _MetaColumns
 
 
 class FastNocStats(NocStats):
@@ -153,6 +207,14 @@ class FastNocStats(NocStats):
         if getattr(self, "_delivered", None) is None:
             return super().latencies()
         p_meta = self._p_meta
+        if (
+            isinstance(self._delivered, tuple)
+            and isinstance(p_meta, _MetaColumns)
+            and not self._needs_sort
+        ):
+            # Columnar plan + kernel columns: one gather, no Python loop.
+            meta_idx, _, at, _ = self._delivered
+            return (at - p_meta.cycle[meta_idx]).astype(np.int64)
         return np.asarray(
             [at - p_meta[pid][3] for pid, _, at, _ in self._columns()],
             dtype=np.int64,
@@ -311,23 +373,31 @@ class FastInterconnect:
             self._fwd.append(entries)
             self._fwd_of.append({e[1]: e for e in entries})
 
-        # Compiled kernel (optional): deterministic routing on networks
-        # small enough for uint64 destination masks runs in C when a
-        # compiler is available; everything else (adaptive selection,
-        # >63 routers, no compiler) uses the pure-Python engine.
+        self._node_arr = np.asarray(nodes, dtype=np.int64)
+        self._port_base_arr = np.asarray(self._port_base, dtype=np.int32)
+        # Destination masks span this many uint64 words.  The original
+        # single-word layout (and its kernel) keeps the <=63-router
+        # boundary; anything larger goes multi-word.
+        self._n_words = 1 if n <= 63 else -(-n // 64)
+
+        # Compiled kernel (optional): deterministic routing runs in C
+        # when a compiler is available — the single-word kernel for <=63
+        # routers, the multi-word variant beyond that.  Adaptive
+        # selection (and no-compiler hosts) use the pure-Python engine.
         self._ck = None
-        if self._deterministic and n <= 63:
+        if self._deterministic:
             lib = load_kernel()
             if lib is not None:
                 deg = [len(self._nbrs[i]) for i in range(n)]
                 entries = [e for i in range(n) for e in self._fwd[i]]
+                out_mask = self._pack_mask_words([e[0] for e in entries])
                 self._ck = lib
                 self._ck_tables = (
-                    np.asarray(self._port_base, dtype=np.int32),
+                    self._port_base_arr,
                     np.asarray(self._nports, dtype=np.int32),
                     np.asarray([0] + list(np.cumsum(deg)), dtype=np.int32),
                     np.asarray([e[1] for e in entries], dtype=np.int32),
-                    np.asarray([e[0] for e in entries], dtype=np.uint64),
+                    out_mask,
                     np.asarray([e[2] for e in entries], dtype=np.int32),
                     np.asarray([e[4] for e in entries], dtype=np.int32),
                 )
@@ -359,10 +429,22 @@ class FastInterconnect:
 
     # -- public API ----------------------------------------------------------
 
-    def simulate(self, injections: Sequence[Injection]) -> NocStats:
-        """Run the network until all traffic drains; return statistics."""
+    def simulate(self, injections: ScheduleLike) -> NocStats:
+        """Run the network until all traffic drains; return statistics.
+
+        Accepts a sequence of :class:`Injection` objects, an
+        ``InjectionSchedule`` (its ``.injections`` list is used), or a
+        :class:`~repro.noc.traffic.ColumnarSchedule` — for the latter
+        the packet plan is adopted straight from the schedule's arrays
+        (no per-packet Python conversion).
+        """
         stats = FastNocStats()
-        plan = self._build_pool_schedule(injections, stats)
+        if isinstance(injections, ColumnarSchedule):
+            plan = self._columnar_plan(injections, stats)
+        else:
+            if hasattr(injections, "injections"):
+                injections = injections.injections
+            plan = self._build_pool_schedule(injections, stats)
         if plan is None:
             return stats
         if self._ck is not None:
@@ -370,7 +452,7 @@ class FastInterconnect:
         return self._run(plan, stats)
 
     def simulate_many(
-        self, schedules: Sequence[Sequence[Injection]]
+        self, schedules: Sequence[ScheduleLike]
     ) -> List[NocStats]:
         """Simulate a batch of injection schedules on this network.
 
@@ -381,6 +463,126 @@ class FastInterconnect:
         return [self.simulate(injections) for injections in schedules]
 
     # -- schedule expansion --------------------------------------------------
+
+    def _columnar_plan(
+        self, schedule: ColumnarSchedule, stats: FastNocStats
+    ) -> Optional[_ColumnarPlan]:
+        """Adopt a columnar schedule as the packet plan.
+
+        The schedule's mask words already use this network's dense
+        router numbering (both sides derive it from sorted node ids), so
+        plan building reduces to bucket-boundary discovery — except
+        under unicast, where multicast rows are expanded into one
+        single-bit row per destination (ascending bit order, matching
+        the reference's sorted split).  Builders guarantee no
+        self-destinations and explicit uids.
+        """
+        if not np.array_equal(schedule.node_ids, self._node_arr):
+            raise ValueError(
+                "columnar schedule was built for a different topology "
+                "(router id mismatch)"
+            )
+        words = schedule.dst_words
+        n_pk = words.shape[0]
+        if n_pk == 0:
+            stats.n_injected = 0
+            stats.n_expected_deliveries = 0
+            return None
+        # Bucket discovery below assumes the sorted-ascending,
+        # non-negative cycle column every builder produces; a hand-built
+        # schedule violating that must fail loudly (the reference view
+        # would raise or reorder, breaking bit-identity silently here).
+        if int(schedule.cycle[0]) < 0:
+            raise ValueError(
+                f"negative injection cycle {int(schedule.cycle[0])}"
+            )
+        if n_pk > 1 and np.any(np.diff(schedule.cycle) < 0):
+            raise ValueError(
+                "columnar schedule cycle column must be sorted ascending"
+            )
+        src_idx = np.searchsorted(self._node_arr, schedule.src_node)
+        cycle = schedule.cycle
+        uid = schedule.uid
+        src_neuron = schedule.src_neuron
+        src_node = schedule.src_node
+        # The traffic builders never emit self-destinations or empty
+        # masks, but hand-built schedules might; apply the reference's
+        # sanitization (strip the source bit, drop empty rows) so both
+        # backends stay bit-identical on any input.
+        rows = np.arange(n_pk)
+        src_word = src_idx >> 6
+        src_bit = np.left_shift(np.uint64(1), (src_idx & 63).astype(np.uint64))
+        has_self = (words[rows, src_word] & src_bit) != 0
+        if has_self.any():
+            words = words.copy()
+            words[rows[has_self], src_word[has_self]] &= ~src_bit[has_self]
+        per_packet = np.bitwise_count(words).sum(axis=1)
+        keep = per_packet != 0
+        if not keep.all():
+            words = words[keep]
+            cycle = cycle[keep]
+            uid = uid[keep]
+            src_neuron = src_neuron[keep]
+            src_node = src_node[keep]
+            src_idx = src_idx[keep]
+            per_packet = per_packet[keep]
+        stats.n_injected = int(words.shape[0])
+        stats.n_expected_deliveries = int(per_packet.sum())
+        if words.shape[0] == 0:
+            return None
+        if not self.config.multicast:
+            rows, cols = unpack_destination_bits(words)
+            n_new = rows.shape[0]
+            split = np.zeros((n_new, words.shape[1]), dtype=np.uint64)
+            split[np.arange(n_new), cols >> 6] = np.left_shift(
+                np.uint64(1), (cols & 63).astype(np.uint64)
+            )
+            words = split
+            cycle = cycle[rows]
+            uid = uid[rows]
+            src_neuron = src_neuron[rows]
+            src_node = src_node[rows]
+            src_idx = src_idx[rows]
+        bounds = np.flatnonzero(np.diff(cycle)) + 1
+        starts = np.concatenate(([0], bounds))
+        return _ColumnarPlan(
+            bucket_cycle=cycle[starts],
+            bucket_off=np.concatenate(
+                (starts, [cycle.shape[0]])
+            ).astype(np.int64),
+            mask_words=words,
+            src_idx=src_idx,
+            meta=_MetaColumns(uid, src_neuron, src_node, cycle, src_idx),
+        )
+
+    def _legacy_plan(self, plan: _ColumnarPlan):
+        """Row-oriented plan from a columnar one (pure-Python engine
+        input: appendable lists, arbitrary-precision int masks)."""
+        bucket_cycle = plan.bucket_cycle.tolist()
+        off = plan.bucket_off.tolist()
+        buckets = [
+            list(range(off[b], off[b + 1]))
+            for b in range(len(bucket_cycle))
+        ]
+        meta = plan.meta
+        p_meta = list(
+            zip(
+                meta.uid.tolist(),
+                meta.src_neuron.tolist(),
+                meta.src_node.tolist(),
+                meta.cycle.tolist(),
+                meta.src_idx.tolist(),
+            )
+        )
+        words = plan.mask_words
+        p_mask = words[:, 0].tolist()
+        for w in range(1, words.shape[1]):
+            shift = 64 * w
+            p_mask = [
+                m | (c << shift)
+                for m, c in zip(p_mask, words[:, w].tolist())
+            ]
+        return (bucket_cycle, buckets, p_meta, [0] * len(p_meta), p_mask)
 
     def _build_pool_schedule(self, injections, stats):
         """Expand injections straight into the packet pool.
@@ -443,34 +645,63 @@ class FastInterconnect:
 
     # -- the engines ---------------------------------------------------------
 
+    def _pack_mask_words(self, p_mask) -> np.ndarray:
+        """Arbitrary-precision int masks -> (n_packets, n_words) words."""
+        nw = self._n_words
+        n_packets = len(p_mask)
+        if nw == 1:
+            return np.array(p_mask, dtype=np.uint64).reshape(n_packets, 1)
+        words = np.zeros((n_packets, nw), dtype=np.uint64)
+        for i, m in enumerate(p_mask):
+            w = 0
+            while m:
+                words[i, w] = m & 0xFFFFFFFFFFFFFFFF
+                m >>= 64
+                w += 1
+        return words
+
     def _run_c(self, plan, stats: FastNocStats) -> FastNocStats:
         """Hand the cycle loop to the compiled kernel (same semantics)."""
-        inject_cycles, buckets, p_meta, p_hops, p_mask = plan
-        port_base = self._port_base
-        n_packets = len(p_mask)
-        pk_mask = np.array(p_mask, dtype=np.uint64)
-        pk_srcgp = np.fromiter(
-            (port_base[m[4]] for m in p_meta), dtype=np.int32, count=n_packets
-        )
-        bucket_cycle = np.asarray(inject_cycles, dtype=np.int64)
-        bucket_off = np.zeros(len(buckets) + 1, dtype=np.int64)
-        np.cumsum([len(b) for b in buckets], out=bucket_off[1:])
-        bucket_pid = np.fromiter(
-            itertools.chain.from_iterable(buckets),
-            dtype=np.int32,
-            count=n_packets,
-        )
+        if isinstance(plan, _ColumnarPlan):
+            p_meta = plan.meta
+            n_packets = plan.mask_words.shape[0]
+            mask_words = np.ascontiguousarray(plan.mask_words)
+            pk_srcgp = np.ascontiguousarray(
+                self._port_base_arr[plan.src_idx]
+            )
+            bucket_cycle = np.ascontiguousarray(plan.bucket_cycle)
+            bucket_off = np.ascontiguousarray(plan.bucket_off)
+            bucket_pid = np.arange(n_packets, dtype=np.int32)
+            n_buckets = len(bucket_cycle)
+            deadline = int(bucket_cycle[-1]) + self.config.max_extra_cycles
+        else:
+            inject_cycles, buckets, p_meta, p_hops, p_mask = plan
+            port_base = self._port_base
+            n_packets = len(p_mask)
+            mask_words = self._pack_mask_words(p_mask)
+            pk_srcgp = np.fromiter(
+                (port_base[m[4]] for m in p_meta),
+                dtype=np.int32,
+                count=n_packets,
+            )
+            bucket_cycle = np.asarray(inject_cycles, dtype=np.int64)
+            bucket_off = np.zeros(len(buckets) + 1, dtype=np.int64)
+            np.cumsum([len(b) for b in buckets], out=bucket_off[1:])
+            bucket_pid = np.fromiter(
+                itertools.chain.from_iterable(buckets),
+                dtype=np.int32,
+                count=n_packets,
+            )
+            n_buckets = len(buckets)
+            deadline = inject_cycles[-1] + self.config.max_extra_cycles
         link_counts = np.zeros(len(self._edges), dtype=np.int64)
         peaks = np.zeros(self._n_flat_ports, dtype=np.int32)
         tb = self._ck_tables
-        deadline = inject_cycles[-1] + self.config.max_extra_cycles
 
         def ptr(a, ctype):
             return a.ctypes.data_as(ctypes.POINTER(ctype))
 
-        res_p = self._ck.nocsim_run(
-            self._n,
-            self._n_flat_ports,
+        common_args = (
             ptr(tb[0], ctypes.c_int32),
             ptr(tb[1], ctypes.c_int32),
             ptr(tb[2], ctypes.c_int32),
@@ -482,15 +713,23 @@ class FastInterconnect:
             self.config.ejections_per_cycle,
             deadline,
             n_packets,
-            ptr(pk_mask, ctypes.c_uint64),
+            ptr(mask_words, ctypes.c_uint64),
             ptr(pk_srcgp, ctypes.c_int32),
-            len(buckets),
+            n_buckets,
             ptr(bucket_cycle, ctypes.c_int64),
             ptr(bucket_off, ctypes.c_int64),
             ptr(bucket_pid, ctypes.c_int32),
             ptr(link_counts, ctypes.c_int64),
             ptr(peaks, ctypes.c_int32),
         )
+        if self._n <= 63:
+            res_p = self._ck.nocsim_run(
+                self._n, self._n_flat_ports, *common_args
+            )
+        else:
+            res_p = self._ck.nocsim_run_mw(
+                self._n, self._n_words, self._n_flat_ports, *common_args
+            )
         if not res_p:
             return self._run(plan, stats)
         try:
@@ -524,6 +763,8 @@ class FastInterconnect:
         return stats
 
     def _run(self, plan, stats: FastNocStats) -> FastNocStats:
+        if isinstance(plan, _ColumnarPlan):
+            plan = self._legacy_plan(plan)
         inject_cycles, buckets, p_meta, p_hops, p_mask = plan
         cfg = self.config
         node_ids = self._nodes
@@ -944,7 +1185,7 @@ def build_interconnect(
 
 def simulate_many(
     topology: Topology,
-    schedules: Sequence[Sequence[Injection]],
+    schedules: Sequence[ScheduleLike],
     routing: Optional[RoutingTable] = None,
     config: Optional[NocConfig] = None,
 ) -> List[NocStats]:

@@ -138,8 +138,15 @@ class Interconnect:
 
     # -- public API ----------------------------------------------------------
 
-    def simulate(self, injections: Sequence[Injection]) -> NocStats:
-        """Run the network until all traffic drains; return statistics."""
+    def simulate(self, injections) -> NocStats:
+        """Run the network until all traffic drains; return statistics.
+
+        Accepts a sequence of :class:`Injection` objects or any schedule
+        object exposing an ``.injections`` list (``InjectionSchedule``,
+        or the columnar schedule's lazily materialized legacy view).
+        """
+        if hasattr(injections, "injections"):
+            injections = injections.injections
         stats = NocStats()
         schedule = self._build_schedule(injections, stats)
         if not schedule:

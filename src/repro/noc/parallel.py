@@ -46,12 +46,15 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple, Union
 
-from repro.noc.fastsim import FastInterconnect
+# ScheduleLike: a row-oriented injection list or a columnar schedule.
+# Columnar items ship to workers as numpy array shards (compact to
+# pickle) instead of per-packet ``Injection`` objects.
+from repro.noc.fastsim import FastInterconnect, ScheduleLike
 from repro.noc.interconnect import NocConfig
-from repro.noc.packet import Injection
 from repro.noc.routing import RoutingTable
 from repro.noc.stats import NocStats
 from repro.noc.topology import Topology
+from repro.noc.traffic import ColumnarSchedule
 
 WorkersSpec = Union[int, str, None]
 
@@ -181,7 +184,7 @@ def _init_worker(sim: FastInterconnect) -> None:
 
 
 def _run_chunk(
-    task: Tuple[int, List[List[Injection]]],
+    task: Tuple[int, List[ScheduleLike]],
 ) -> Tuple[int, List[ScheduleSummary]]:
     """Simulate one chunk of schedules; tag results with the batch offset."""
     start, schedules = task
@@ -289,16 +292,19 @@ class ParallelNocSimulator:
     # -- execution -----------------------------------------------------------
 
     def _chunks(
-        self, schedules: Sequence[Sequence[Injection]]
-    ) -> Iterator[Tuple[int, List[List[Injection]]]]:
+        self, schedules: Sequence[ScheduleLike]
+    ) -> Iterator[Tuple[int, List[ScheduleLike]]]:
         size = self.chunk_size
         if size is None:
             size = max(1, -(-len(schedules) // (4 * self.workers)))
         for start in range(0, len(schedules), size):
-            yield start, [list(s) for s in schedules[start : start + size]]
+            yield start, [
+                s if isinstance(s, ColumnarSchedule) else list(s)
+                for s in schedules[start : start + size]
+            ]
 
     def _summarize_serial(
-        self, schedules: Sequence[Sequence[Injection]]
+        self, schedules: Sequence[ScheduleLike]
     ) -> List[ScheduleSummary]:
         return [
             summarize(s, self._sim.topology)
@@ -306,7 +312,7 @@ class ParallelNocSimulator:
         ]
 
     def summarize_many(
-        self, schedules: Sequence[Sequence[Injection]]
+        self, schedules: Sequence[ScheduleLike]
     ) -> List[ScheduleSummary]:
         """Simulate every schedule; return one summary per schedule.
 
@@ -340,7 +346,7 @@ class ParallelNocSimulator:
             return self._summarize_serial(schedules)
 
     def simulate_many(
-        self, schedules: Sequence[Sequence[Injection]]
+        self, schedules: Sequence[ScheduleLike]
     ) -> List[NocStats]:
         """Full-stats batch API (always in-process; summaries are the
         cheap cross-process currency — use :meth:`summarize_many` for
@@ -350,7 +356,7 @@ class ParallelNocSimulator:
 
 def parallel_simulate_many(
     topology: Topology,
-    schedules: Sequence[Sequence[Injection]],
+    schedules: Sequence[ScheduleLike],
     routing: Optional[RoutingTable] = None,
     config: Optional[NocConfig] = None,
     workers: WorkersSpec = 0,

@@ -7,12 +7,29 @@ crossbar hosting the neuron and destined for the set of crossbars hosting
 its remote targets.  Spike times (ms, from the SNN simulation) are mapped
 to interconnect cycles through ``cycles_per_ms`` — the ratio between the
 NoC clock and biological real time.
+
+The schedule representation is *columnar*: :class:`ColumnarSchedule`
+holds one flat array per packet field (injection cycle, source router,
+source neuron, uid) plus a ``(n_packets, n_words)`` uint64 matrix of
+destination-router bitmasks over the topology's dense router indices
+(``sorted(graph.nodes)`` order — the same renumbering the fast backend
+uses, so :class:`~repro.noc.fastsim.FastInterconnect` consumes the
+arrays without any per-packet conversion).  The legacy ``Injection``
+list stays available as a lazily materialized view
+(:attr:`ColumnarSchedule.injections`) for the reference backend and for
+any consumer that wants objects.
+
+:func:`build_injections_batch` builds a whole swarm's schedules in one
+pass: the spike-event columns (times → cycles) and the deduplicated
+synapse endpoint pairs are computed once, and only the per-particle
+destination sets are re-derived (one ``np.unique`` over encoded
+``(src, dst_cluster)`` pairs per particle).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -21,24 +38,198 @@ from repro.noc.topology import Topology
 from repro.snn.graph import SpikeGraph
 from repro.utils.validation import check_positive
 
+#: Bits per destination-mask word.
+WORD_BITS = 64
+
+
+def unpack_destination_bits(words: np.ndarray):
+    """Set-bit coordinates of a ``(n, n_words)`` uint64 mask matrix.
+
+    Returns ``(rows, cols)`` in row-major order, so each row's columns
+    come out ascending — ascending dense router index.  The ``"<u8"``
+    view is a no-op on little-endian hosts and a byte-swapped copy on
+    big-endian ones, keeping unpacked bit ``k`` equal to dense index
+    ``k`` on any platform.  Shared by the legacy-view materializer and
+    the fast backend's unicast split so the mapping lives in one place.
+    """
+    bits = np.unpackbits(
+        words.astype("<u8", copy=False).view(np.uint8),
+        axis=1,
+        bitorder="little",
+    )
+    return np.nonzero(bits)
+
 
 @dataclass
 class InjectionSchedule:
-    """A ready-to-simulate packet schedule plus its provenance."""
+    """A ready-to-simulate packet schedule plus its provenance.
+
+    The legacy row-oriented container (one :class:`Injection` object per
+    packet); synthetic traffic generators still produce it directly.
+    Graph-derived schedules are built columnar — see
+    :class:`ColumnarSchedule`, which exposes the same surface.
+    """
 
     injections: List[Injection]
     cycles_per_ms: float
     n_source_neurons: int
     n_spike_events: int
+    _duration: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def n_packets(self) -> int:
         return len(self.injections)
 
     def duration_cycles(self) -> int:
-        if not self.injections:
-            return 0
-        return max(i.cycle for i in self.injections) + 1
+        """One past the last injection cycle (cached after first call)."""
+        if self._duration is None:
+            if not self.injections:
+                self._duration = 0
+            else:
+                cycles = np.fromiter(
+                    (i.cycle for i in self.injections),
+                    dtype=np.int64,
+                    count=len(self.injections),
+                )
+                self._duration = int(cycles.max()) + 1
+        return self._duration
+
+
+@dataclass(eq=False)
+class ColumnarSchedule:
+    """Columnar AER injection schedule (struct-of-arrays).
+
+    Attributes
+    ----------
+    cycle:
+        int64 ``(n_packets,)`` injection cycles, sorted ascending.
+    src_node:
+        int64 ``(n_packets,)`` source router node ids.
+    src_neuron:
+        int64 ``(n_packets,)`` AER source addresses.
+    uid:
+        int64 ``(n_packets,)`` unique packet ids (ascending within one
+        injection cycle — the reference sort order).
+    dst_words:
+        uint64 ``(n_packets, n_words)`` destination bitmasks.  Bit ``d``
+        of the concatenated words marks dense router index ``d``, where
+        dense indices follow ``node_ids`` (sorted router ids — the fast
+        backend's renumbering).  Builders never set the source router's
+        own bit.
+    node_ids:
+        int64 ``(n_routers,)`` sorted router ids giving each mask bit
+        its meaning.
+    cycles_per_ms, n_source_neurons, n_spike_events:
+        Provenance, as on :class:`InjectionSchedule`.
+    """
+
+    cycle: np.ndarray
+    src_node: np.ndarray
+    src_neuron: np.ndarray
+    uid: np.ndarray
+    dst_words: np.ndarray
+    node_ids: np.ndarray
+    cycles_per_ms: float
+    n_source_neurons: int
+    n_spike_events: int
+
+    def __post_init__(self) -> None:
+        self._injections: Optional[List[Injection]] = None
+        self._duration: Optional[int] = None
+
+    def __eq__(self, other) -> bool:
+        # The dataclass-generated __eq__ would compare ndarrays with
+        # `==` and raise; compare column contents instead (caches and
+        # everything derived from the columns are excluded).
+        if not isinstance(other, ColumnarSchedule):
+            return NotImplemented
+        return (
+            self.cycles_per_ms == other.cycles_per_ms
+            and self.n_source_neurons == other.n_source_neurons
+            and self.n_spike_events == other.n_spike_events
+            and np.array_equal(self.cycle, other.cycle)
+            and np.array_equal(self.src_node, other.src_node)
+            and np.array_equal(self.src_neuron, other.src_neuron)
+            and np.array_equal(self.uid, other.uid)
+            and np.array_equal(self.dst_words, other.dst_words)
+            and np.array_equal(self.node_ids, other.node_ids)
+        )
+
+    def __getstate__(self):
+        # Never ship the materialized legacy view (or the duration
+        # cache) across process boundaries: workers consume the arrays,
+        # and the whole point of columnar shards is not pickling
+        # per-packet Injection objects.
+        state = self.__dict__.copy()
+        state["_injections"] = None
+        state["_duration"] = None
+        return state
+
+    @property
+    def n_packets(self) -> int:
+        return int(self.cycle.shape[0])
+
+    @property
+    def n_words(self) -> int:
+        return int(self.dst_words.shape[1])
+
+    def duration_cycles(self) -> int:
+        """One past the last injection cycle — O(1): the column is sorted."""
+        if self._duration is None:
+            self._duration = int(self.cycle[-1]) + 1 if self.cycle.size else 0
+        return self._duration
+
+    def destination_counts(self) -> np.ndarray:
+        """Destinations per packet (mask popcounts), int64 ``(n_packets,)``."""
+        if self.n_packets == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.bitwise_count(self.dst_words).sum(axis=1).astype(np.int64)
+
+    @property
+    def injections(self) -> List[Injection]:
+        """Legacy row view: one :class:`Injection` per packet (lazy).
+
+        Destination tuples come out in ascending node-id order, exactly
+        as the legacy builder produced them; the list is materialized
+        once and cached.
+        """
+        if self._injections is None:
+            self._injections = self._materialize()
+        return self._injections
+
+    def _materialize(self) -> List[Injection]:
+        n = self.n_packets
+        if n == 0:
+            return []
+        rows, cols = unpack_destination_bits(self.dst_words)
+        dst_ids = self.node_ids[cols].tolist()
+        offs = np.concatenate(([0], np.cumsum(np.bincount(rows, minlength=n)))).tolist()
+        cyc = self.cycle.tolist()
+        src = self.src_node.tolist()
+        neu = self.src_neuron.tolist()
+        uid = self.uid.tolist()
+        return [
+            Injection(
+                cycle=cyc[i],
+                src_node=src[i],
+                dst_nodes=tuple(dst_ids[offs[i] : offs[i + 1]]),
+                src_neuron=neu[i],
+                uid=uid[i],
+            )
+            for i in range(n)
+        ]
+
+
+def dense_node_ids(topology: Topology) -> np.ndarray:
+    """Sorted router ids of ``topology`` — the mask-bit order (cached)."""
+    cached = getattr(topology, "_dense_node_ids", None)
+    if cached is None:
+        cached = np.asarray(sorted(topology.graph.nodes), dtype=np.int64)
+        cached.flags.writeable = False
+        topology._dense_node_ids = cached
+    return cached
 
 
 def global_destinations(
@@ -47,20 +238,191 @@ def global_destinations(
     """Remote crossbars each neuron must reach: ``neuron -> {crossbar}``.
 
     Only neurons with at least one inter-crossbar synapse appear.
-    Self-loops and local synapses contribute nothing.
+    Self-loops and local synapses contribute nothing.  Computed with one
+    ``np.unique`` over encoded ``(src, dst_cluster)`` pairs rather than
+    a per-synapse Python loop.
     """
     if assignment.shape[0] != graph.n_neurons:
         raise ValueError(
             f"assignment covers {assignment.shape[0]} neurons, graph has "
             f"{graph.n_neurons}"
         )
-    dests: Dict[int, Set[int]] = {}
     src_cluster = assignment[graph.src]
     dst_cluster = assignment[graph.dst]
     remote = src_cluster != dst_cluster
-    for s, c in zip(graph.src[remote], dst_cluster[remote]):
-        dests.setdefault(int(s), set()).add(int(c))
-    return dests
+    if not remote.any():
+        return {}
+    if int(dst_cluster[remote].min()) < 0:
+        # Negative ids would corrupt the (neuron, cluster) key encoding
+        # below; every downstream consumer rejects them anyway.
+        raise ValueError(
+            "assignment contains negative cluster id "
+            f"{int(dst_cluster[remote].min())}"
+        )
+    stride = int(dst_cluster[remote].max()) + 1
+    keys = np.unique(graph.src[remote] * stride + dst_cluster[remote])
+    neurons = keys // stride
+    clusters = keys % stride
+    bounds = np.flatnonzero(np.diff(neurons)) + 1
+    starts = np.concatenate(([0], bounds))
+    return {
+        int(neurons[s]): set(group.tolist())
+        for s, group in zip(starts, np.split(clusters, bounds))
+    }
+
+
+def _empty_columnar(
+    node_ids: np.ndarray, n_words: int, cycles_per_ms: float
+) -> ColumnarSchedule:
+    return ColumnarSchedule(
+        cycle=np.empty(0, dtype=np.int64),
+        src_node=np.empty(0, dtype=np.int64),
+        src_neuron=np.empty(0, dtype=np.int64),
+        uid=np.empty(0, dtype=np.int64),
+        dst_words=np.empty((0, n_words), dtype=np.uint64),
+        node_ids=node_ids,
+        cycles_per_ms=cycles_per_ms,
+        n_source_neurons=0,
+        n_spike_events=0,
+    )
+
+
+class _SpikeColumns:
+    """Per-graph spike events flattened once for a whole batch.
+
+    ``counts[n]`` / ``offsets[n]`` index neuron ``n``'s run inside the
+    concatenated ``cycles`` column (spike times already converted to
+    interconnect cycles, so particles share the conversion too).
+    """
+
+    def __init__(self, graph: SpikeGraph, cycles_per_ms: float) -> None:
+        self.counts = graph.spike_counts()
+        self.offsets = np.cumsum(self.counts) - self.counts
+        if int(self.counts.sum()):
+            times = np.concatenate(graph.spike_times)
+        else:
+            times = np.empty(0, dtype=np.float64)
+        # int(round(t * cpm)) of the legacy builder: IEEE round-half-even.
+        self.cycles = np.rint(times * cycles_per_ms).astype(np.int64)
+
+    def gather(self, neurons: np.ndarray):
+        """Spike cycles of ``neurons`` (sorted), run-expanded.
+
+        Returns ``(per_neuron_counts, packet_cycles)`` where the cycles
+        come out grouped by neuron in the given order, each neuron's
+        spikes in stored (time) order — the legacy packet order before
+        the stable cycle sort.
+        """
+        cnts = self.counts[neurons]
+        total = int(cnts.sum())
+        if total == 0:
+            return cnts, np.empty(0, dtype=np.int64)
+        run_starts = np.cumsum(cnts) - cnts
+        idx = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(run_starts, cnts)
+            + np.repeat(self.offsets[neurons], cnts)
+        )
+        cycles = self.cycles[idx]
+        if int(cycles.min()) < 0:
+            # The legacy builder raised through Injection.__post_init__;
+            # keep failing at build time (and only for neurons that
+            # actually emit packets, matching its laziness).
+            raise ValueError(
+                f"negative injection cycle {int(cycles.min())} (negative "
+                "spike time in graph)"
+            )
+        return cnts, cycles
+
+
+def build_injections_batch(
+    graph: SpikeGraph,
+    assignments: np.ndarray,
+    topology: Topology,
+    cycles_per_ms: float = 10.0,
+) -> List[ColumnarSchedule]:
+    """Build one :class:`ColumnarSchedule` per assignment row.
+
+    The swarm-scoring hot path: spike events (times → cycles) and the
+    deduplicated synapse endpoint pairs are computed once for the whole
+    batch; each particle only re-derives its destination sets — one
+    ``np.unique`` over encoded ``(src, dst_cluster)`` pairs — and
+    gathers the shared spike columns.
+    """
+    check_positive("cycles_per_ms", cycles_per_ms)
+    a = np.asarray(assignments, dtype=np.int64)
+    if a.ndim == 1:
+        a = a[None, :]
+    if a.shape[1] != graph.n_neurons:
+        raise ValueError(
+            f"assignments cover {a.shape[1]} neurons, graph has "
+            f"{graph.n_neurons}"
+        )
+    if a.size and int(a.min()) < 0:
+        # Fancy indexing would silently wrap negatives to the last
+        # crossbars; the row-oriented builder raised on them.
+        raise ValueError(f"assignments contain negative cluster id {int(a.min())}")
+    node_ids = dense_node_ids(topology)
+    n_words = max(1, -(-int(node_ids.shape[0]) // WORD_BITS))
+    attach = np.asarray(topology.attach_points, dtype=np.int64)
+    attach_didx = np.searchsorted(node_ids, attach)
+
+    if graph.n_synapses:
+        pair_keys = np.unique(graph.src * graph.n_neurons + graph.dst)
+        u_src = pair_keys // graph.n_neurons
+        u_dst = pair_keys % graph.n_neurons
+    else:
+        u_src = u_dst = np.empty(0, dtype=np.int64)
+    spikes = _SpikeColumns(graph, cycles_per_ms)
+
+    out: List[ColumnarSchedule] = []
+    for row in a:
+        src_c = row[u_src]
+        dst_c = row[u_dst]
+        remote = src_c != dst_c
+        if not remote.any():
+            out.append(_empty_columnar(node_ids, n_words, cycles_per_ms))
+            continue
+        # ``u_src`` is sorted (major key of the synapse-pair dedup), so
+        # its remote subset is grouped by neuron already: boundary flags
+        # replace a per-particle ``np.unique``, and duplicate
+        # destinations collapse through the idempotent OR below.
+        rsrc = u_src[remote]
+        didx = attach_didx[dst_c[remote]]
+        new_group = np.empty(rsrc.shape[0], dtype=bool)
+        new_group[0] = True
+        np.not_equal(rsrc[1:], rsrc[:-1], out=new_group[1:])
+        neurons = rsrc[new_group]
+
+        words = np.zeros((neurons.shape[0], n_words), dtype=np.uint64)
+        np.bitwise_or.at(
+            words,
+            (np.cumsum(new_group) - 1, didx >> 6),
+            np.left_shift(np.uint64(1), (didx & 63).astype(np.uint64)),
+        )
+
+        cnts, pk_cycle = spikes.gather(neurons)
+        n_packets = int(pk_cycle.shape[0])
+        if n_packets == 0:
+            schedule = _empty_columnar(node_ids, n_words, cycles_per_ms)
+            schedule.n_source_neurons = int(neurons.shape[0])
+            out.append(schedule)
+            continue
+        order = np.argsort(pk_cycle, kind="stable")
+        out.append(
+            ColumnarSchedule(
+                cycle=pk_cycle[order],
+                src_node=np.repeat(attach[row[neurons]], cnts)[order],
+                src_neuron=np.repeat(neurons, cnts)[order],
+                uid=order.astype(np.int64),
+                dst_words=np.repeat(words, cnts, axis=0)[order],
+                node_ids=node_ids,
+                cycles_per_ms=cycles_per_ms,
+                n_source_neurons=int(neurons.shape[0]),
+                n_spike_events=n_packets,
+            )
+        )
+    return out
 
 
 def build_injections(
@@ -68,12 +430,32 @@ def build_injections(
     assignment: np.ndarray,
     topology: Topology,
     cycles_per_ms: float = 10.0,
-) -> InjectionSchedule:
+) -> ColumnarSchedule:
     """Build the AER injection schedule for a mapped spike graph.
 
     Each spike of a neuron with remote targets becomes one multicast
     injection (the interconnect config decides whether it travels as one
-    forked packet or per-destination unicast copies).
+    forked packet or per-destination unicast copies).  Returns the
+    columnar representation; ``.injections`` materializes the legacy
+    :class:`Injection` list on demand.
+    """
+    assignment = np.asarray(assignment, dtype=np.int64)
+    return build_injections_batch(
+        graph, assignment[None, :], topology, cycles_per_ms=cycles_per_ms
+    )[0]
+
+
+def build_injections_reference(
+    graph: SpikeGraph,
+    assignment: np.ndarray,
+    topology: Topology,
+    cycles_per_ms: float = 10.0,
+) -> InjectionSchedule:
+    """Row-oriented reference builder (one ``Injection`` object at a time).
+
+    The original pure-Python implementation, kept as the oracle for the
+    columnar-vs-legacy equivalence tests and as the baseline the batched
+    builder is benchmarked against.
     """
     check_positive("cycles_per_ms", cycles_per_ms)
     assignment = np.asarray(assignment, dtype=np.int64)
@@ -85,9 +467,7 @@ def build_injections(
     for neuron in sorted(dests):
         crossbars = dests[neuron]
         src_node = topology.node_of_crossbar(int(assignment[neuron]))
-        dst_nodes = tuple(
-            sorted(topology.node_of_crossbar(c) for c in crossbars)
-        )
+        dst_nodes = tuple(sorted(topology.node_of_crossbar(c) for c in crossbars))
         for t_ms in graph.spike_times[neuron]:
             injections.append(
                 Injection(
