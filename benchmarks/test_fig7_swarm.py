@@ -59,15 +59,25 @@ def test_fig7_swarm_size_exploration(benchmark, fig7_workloads):
         norm = normalized_energies(points)
         for p, e in zip(points, norm):
             rows.append((name, p.swarm_size, f"{e:.3f}",
-                         f"{p.wall_time_s:.2f}"))
-        rows.append(("", "", "", ""))
+                         f"{p.wall_time_s:.2f}",
+                         f"{p.particle_iterations_per_s:,.0f}"))
+        rows.append(("", "", "", "", ""))
     print()
     print(f"Fig. 7 — normalized energy vs swarm size "
           f"({N_ITERATIONS} iterations)")
     print(format_table(
-        ["application", "swarm size", "normalized energy", "wall time (s)"],
+        ["application", "swarm size", "normalized energy", "wall time (s)",
+         "particle-iters/s"],
         rows,
     ))
+
+    # Swarm throughput must be reported for every sweep point: a front-end
+    # regression (repair, decode, buffer churn) shows up here directly.
+    for name, points in sweeps.items():
+        for p in points:
+            assert p.particle_iterations_per_s > 0, (
+                f"{name}: swarm throughput missing for size {p.swarm_size}"
+            )
 
     for name, points in sweeps.items():
         energies = [p.interconnect_energy_pj for p in points]

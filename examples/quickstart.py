@@ -39,6 +39,10 @@ def main() -> None:
 
     print()
     print(result.mapping.describe())
+    throughput = result.mapping.extras.get("particle_iterations_per_s")
+    if throughput:
+        print(f"Swarm throughput: {throughput:,.0f} particle-iterations/s "
+              f"({result.mapping.extras['n_evaluations']} evaluations)")
     print(result.noc_stats.describe())
     print()
     print(result.report.table())

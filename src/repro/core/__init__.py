@@ -19,7 +19,7 @@ Public API
   :func:`annealing_partition`
 """
 
-from repro.core.partition import Partition, repair_assignment
+from repro.core.partition import Partition, repair_assignment, repair_batch
 from repro.core.traffic_matrix import TrafficMatrix, cluster_traffic
 from repro.core.fitness import InterconnectFitness
 from repro.core.pso import BinaryPSO, PSOConfig, PSOResult
@@ -36,6 +36,7 @@ from repro.core.baselines import (
 __all__ = [
     "Partition",
     "repair_assignment",
+    "repair_batch",
     "TrafficMatrix",
     "cluster_traffic",
     "InterconnectFitness",

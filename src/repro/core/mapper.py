@@ -181,13 +181,24 @@ def map_snn(
             except ValueError:
                 pass  # greedy can be skipped if packing is degenerate
             initial = np.stack(seeds)
+        swarm_start = time.perf_counter()
         try:
             result = pso.optimize(initial_assignments=initial)
+            # Measured before close(): worker-pool teardown must not
+            # deflate the reported swarm throughput.
+            swarm_wall = time.perf_counter() - swarm_start
         finally:
             fitness.close()
         partition = result.partition(c, nc)
         extras["history"] = result.history
         extras["n_evaluations"] = result.n_evaluations
+        # Swarm throughput (particle-iterations per second): the figure
+        # the Fig. 7 bench and quickstart report so front-end regressions
+        # show up directly in bench output.
+        extras["pso_wall_time_s"] = swarm_wall
+        extras["particle_iterations_per_s"] = (
+            result.n_evaluations / swarm_wall if swarm_wall > 0 else float("inf")
+        )
     elif method == "pacman":
         partition = pacman_partition(graph, c, nc)
     elif method == "neutrams":

@@ -29,7 +29,7 @@ from typing import Callable, List, Optional, Union
 import numpy as np
 
 from repro.core.fitness import InterconnectFitness
-from repro.core.partition import Partition, repair_assignment
+from repro.core.partition import Partition, repair_batch
 from repro.utils.rng import SeedLike, default_rng
 from repro.utils.validation import check_positive
 
@@ -44,6 +44,12 @@ class PSOConfig:
     results (Section V-D); smaller swarms trade quality for time exactly as
     its Fig. 7 shows.  Defaults here are mid-range so unit tests stay fast;
     benches pass the paper's values explicitly.
+
+    ``dtype`` selects the floating-point type of the swarm's position,
+    velocity and best-position buffers.  ``np.float32`` halves the resident
+    memory of a paper-scale swarm (seven (P, N, C) buffers) at the cost of
+    a slightly different stochastic trajectory; ``np.float64`` (default)
+    reproduces the historical bit-exact results.
     """
 
     n_particles: int = 100
@@ -55,6 +61,7 @@ class PSOConfig:
     x_max: float = 10.0
     binarization: str = "stochastic"  # or "argmax"
     early_stop_patience: Optional[int] = None
+    dtype: object = np.float64
 
     def __post_init__(self) -> None:
         check_positive("n_particles", self.n_particles)
@@ -70,6 +77,12 @@ class PSOConfig:
             )
         if self.early_stop_patience is not None and self.early_stop_patience < 1:
             raise ValueError("early_stop_patience must be >= 1 when set")
+        dtype = np.dtype(self.dtype)
+        if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(
+                f"dtype must be float32 or float64, got {dtype}"
+            )
+        object.__setattr__(self, "dtype", dtype)
 
 
 @dataclass
@@ -140,18 +153,39 @@ class BinaryPSO:
             self._evaluate: BatchFitness = evaluate_batch
         else:
             self._evaluate = fitness
+        self._dtype = np.dtype(self.config.dtype)
+        self._half_x = self._dtype.type(self.config.x_max / 2.0)
+        self._onehot_buf: Optional[np.ndarray] = None
+        self._onehot_prev: Optional[np.ndarray] = None
 
     # -- public API --------------------------------------------------------------
 
     def optimize(
         self, initial_assignments: Optional[np.ndarray] = None
     ) -> PSOResult:
-        """Run the swarm and return the best feasible assignment found."""
+        """Run the swarm and return the best feasible assignment found.
+
+        The iteration loop is allocation-free in its hot path: the
+        position, velocity, one-hot and scratch ``(P, N, C)`` buffers are
+        allocated once and updated in place (every in-place formulation
+        below is bit-identical to the original out-of-place expression),
+        so a paper-scale swarm's per-generation cost is the fitness call
+        plus the batched decode/repair, not allocator churn.
+        """
         cfg = self.config
         p, n, c = cfg.n_particles, self.n_neurons, self.n_clusters
 
+        # Init draws stay float64 regardless of cfg.dtype so the float32
+        # swarm explores from the same starting cloud.
         positions = self.rng.uniform(-1.0, 1.0, size=(p, n, c))
         velocities = self.rng.uniform(-cfg.v_max / 2, cfg.v_max / 2, size=(p, n, c))
+        if self._dtype != np.float64:
+            positions = positions.astype(self._dtype)
+            velocities = velocities.astype(self._dtype)
+        scratch = np.empty_like(positions)
+        scratch2 = np.empty_like(positions)
+        r1 = np.empty_like(positions)
+        r2 = np.empty_like(positions)
 
         pbest_positions = positions.copy()
         pbest_fitness = np.full(p, np.inf)
@@ -166,7 +200,7 @@ class BinaryPSO:
             # almost never reproduce a seed bit-for-bit).
             seeds = np.atleast_2d(np.asarray(initial_assignments, dtype=np.int64))
             self._seed_positions(positions, seeds)
-            seeds = self._repair_batch(seeds.copy())
+            seeds = self._repair_batch(seeds)
             seed_fitness = np.asarray(self._evaluate(seeds), dtype=np.float64)
             onehot_seeds = self._one_hot(seeds)
             k = min(seeds.shape[0], p)
@@ -184,7 +218,7 @@ class BinaryPSO:
 
         for _ in range(cfg.n_iterations):
             iterations_run += 1
-            assignments = self._binarize(positions)
+            assignments = self._binarize(positions, scratch, scratch2)
             assignments = self._repair_batch(assignments)
             fitness = np.asarray(self._evaluate(assignments), dtype=np.float64)
             n_evaluations += p
@@ -210,13 +244,20 @@ class BinaryPSO:
             ):
                 break
 
-            r1 = self.rng.random(size=(p, n, c))
-            r2 = self.rng.random(size=(p, n, c))
-            velocities = (
-                cfg.inertia * velocities
-                + cfg.cognitive * r1 * (pbest_positions - positions)
-                + cfg.social * r2 * (gbest_position[None, :, :] - positions)
-            )
+            self._rand(out=r1)
+            self._rand(out=r2)
+            # In-place Eq. 1, same operation order as the original
+            # expression `inertia*v + cognitive*r1*(pbest-x) +
+            # social*r2*(gbest-x)` so float64 trajectories are unchanged.
+            velocities *= cfg.inertia
+            np.subtract(pbest_positions, positions, out=scratch)
+            np.multiply(r1, cfg.cognitive, out=scratch2)
+            scratch2 *= scratch
+            velocities += scratch2
+            np.subtract(gbest_position[None, :, :], positions, out=scratch)
+            np.multiply(r2, cfg.social, out=scratch2)
+            scratch2 *= scratch
+            velocities += scratch2
             np.clip(velocities, -cfg.v_max, cfg.v_max, out=velocities)
             positions += velocities
             np.clip(positions, -cfg.x_max, cfg.x_max, out=positions)
@@ -231,60 +272,88 @@ class BinaryPSO:
 
     # -- internals ------------------------------------------------------------------
 
-    def _binarize(self, positions: np.ndarray) -> np.ndarray:
+    def _rand(self, size=None, out=None) -> np.ndarray:
+        """Uniform [0, 1) draws in the swarm dtype.
+
+        The float64 path is byte-for-byte the historical stream; float32
+        consumes the bit stream differently (one uint32 per value) and is
+        only used when ``PSOConfig(dtype=np.float32)`` opts in.
+        """
+        if self._dtype == np.float64:
+            if out is not None:
+                return self.rng.random(out=out)
+            return self.rng.random(size=size)
+        if out is not None:
+            return self.rng.random(out=out, dtype=np.float32)
+        return self.rng.random(size=size, dtype=np.float32)
+
+    def _binarize(
+        self,
+        positions: np.ndarray,
+        scratch: Optional[np.ndarray] = None,
+        scratch2: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Decode real positions into one cluster per neuron (Eqs. 2-3)."""
         if self.config.binarization == "argmax":
             return positions.argmax(axis=2).astype(np.int64)
         # Stochastic decode: sample cluster k with probability proportional
         # to sigmoid(x_{i,k}) — the paper's rand()-vs-sigmoid rule with the
         # one-hot constraint enforced by sampling exactly one k per neuron.
-        z = 1.0 / (1.0 + np.exp(-positions))
-        cdf = np.cumsum(z, axis=2)
-        totals = cdf[:, :, -1:]
-        u = self.rng.random(size=positions.shape[:2] + (1,)) * totals
-        return (u > cdf).sum(axis=2).astype(np.int64)
+        # Computed into reusable scratch buffers; the op sequence matches
+        # `1/(1+exp(-x))`, `cumsum`, `u*totals` exactly.
+        if scratch is None:
+            scratch = np.empty_like(positions)
+        if scratch2 is None:
+            scratch2 = np.empty_like(positions)
+        np.negative(positions, out=scratch)
+        np.exp(scratch, out=scratch)
+        scratch += 1.0
+        np.divide(1.0, scratch, out=scratch)
+        np.cumsum(scratch, axis=2, out=scratch2)
+        totals = scratch2[:, :, -1:]
+        u = self._rand(size=positions.shape[:2] + (1,))
+        u *= totals
+        return (u > scratch2).sum(axis=2).astype(np.int64)
 
     def _repair_batch(self, assignments: np.ndarray) -> np.ndarray:
-        # With a move_cost, eviction order is cost-sorted and repair is
-        # fully deterministic — no randomness is consumed at all.
-        # Without one, repair permutes evictees randomly; feeding every
-        # repair from the shared swarm stream would make each particle's
-        # randomness depend on *which other particles* happened to be
-        # infeasible that iteration, coupling particles across the
-        # batch.  Instead, one fixed-size draw of child seeds per call
-        # gives every particle an independent stream while keeping the
-        # main stream's consumption independent of the feasibility
-        # pattern.
-        if self.move_cost is None:
-            child_rngs = [
-                default_rng(int(s))
-                for s in self.rng.integers(
-                    0, 2**63 - 1, size=assignments.shape[0]
-                )
-            ]
-        else:
-            child_rngs = None
-        for i in range(assignments.shape[0]):
-            sizes = np.bincount(assignments[i], minlength=self.n_clusters)
-            if sizes.max() > self.capacity:
-                assignments[i] = repair_assignment(
-                    assignments[i],
-                    self.n_clusters,
-                    self.capacity,
-                    rng=child_rngs[i] if child_rngs is not None else None,
-                    move_cost=self.move_cost,
-                )
-        return assignments
+        # One vectorized call repairs the whole generation.  With a
+        # move_cost, eviction is cost-sorted and fully deterministic — no
+        # randomness is consumed at all.  Without one, repair_batch seeds
+        # one child RNG stream per particle from a fixed-size draw on the
+        # swarm stream, so a particle's randomness never depends on which
+        # *other* particles happened to be infeasible that iteration.
+        return repair_batch(
+            assignments,
+            self.n_clusters,
+            self.capacity,
+            rng=self.rng,
+            move_cost=self.move_cost,
+        )
 
     def _one_hot(self, assignments: np.ndarray) -> np.ndarray:
+        # Map each row onto {-x_max/2, +x_max/2} attractors so the pull
+        # toward a best position saturates the sigmoid decisively.  The
+        # buffer is reused across iterations (callers copy what they keep):
+        # after the initial fill only the scattered +half entries change,
+        # so each call erases the previous generation's positions and puts
+        # the new ones — two O(P*N) scatters instead of an O(P*N*C) fill.
+        # put_along_axis replaces the old O(P*N) repeat/tile index build.
+        # Holding `assignments` as the erase list is safe because callers
+        # always pass freshly built arrays they do not mutate afterwards.
         p, n = assignments.shape
-        onehot = np.zeros((p, n, self.n_clusters), dtype=np.float64)
-        idx_p = np.repeat(np.arange(p), n)
-        idx_n = np.tile(np.arange(n), p)
-        onehot[idx_p, idx_n, assignments.ravel()] = 1.0
-        # Map {0,1} onto {-x_max/2, +x_max/2}-ish attractors so the pull
-        # toward a best position saturates the sigmoid decisively.
-        return (onehot * 2.0 - 1.0) * (self.config.x_max / 2.0)
+        buf = self._onehot_buf
+        if buf is None or buf.shape[0] != p:
+            buf = np.empty((p, n, self.n_clusters), dtype=self._dtype)
+            buf.fill(-self._half_x)
+            self._onehot_buf = buf
+            self._onehot_prev = None
+        if self._onehot_prev is not None:
+            np.put_along_axis(
+                buf, self._onehot_prev[:, :, None], -self._half_x, axis=2
+            )
+        np.put_along_axis(buf, assignments[:, :, None], self._half_x, axis=2)
+        self._onehot_prev = assignments
+        return buf
 
     def _seed_positions(
         self, positions: np.ndarray, initial_assignments: np.ndarray
@@ -295,9 +364,11 @@ class BinaryPSO:
         k = min(initial_assignments.shape[0], positions.shape[0])
         for i in range(k):
             onehot = np.full(
-                (self.n_neurons, self.n_clusters), -self.config.x_max / 2.0
+                (self.n_neurons, self.n_clusters),
+                -self._half_x,
+                dtype=self._dtype,
             )
             onehot[np.arange(self.n_neurons), initial_assignments[i]] = (
-                self.config.x_max / 2.0
+                self._half_x
             )
             positions[i] = onehot

@@ -47,12 +47,19 @@ class ArchitecturePoint:
 
 @dataclass(frozen=True)
 class SwarmPoint:
-    """One Fig. 7 sweep point."""
+    """One Fig. 7 sweep point.
+
+    ``particle_iterations_per_s`` is the swarm's generation throughput
+    (evaluated particle-iterations per second of pure PSO wall time) —
+    the number the fig-7 bench prints so front-end slowdowns are visible
+    in bench output, not just total wall time.
+    """
 
     swarm_size: int
     interconnect_energy_pj: float
     global_spikes: float
     wall_time_s: float
+    particle_iterations_per_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -305,6 +312,9 @@ def explore_swarm_size(
                 interconnect_energy_pj=energy,
                 global_spikes=result.global_spikes,
                 wall_time_s=result.wall_time_s,
+                particle_iterations_per_s=float(
+                    result.extras.get("particle_iterations_per_s", 0.0)
+                ),
             )
         )
     return points

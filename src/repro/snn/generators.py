@@ -60,6 +60,8 @@ class PoissonSource(SpikeSource):
 class RegularSource(SpikeSource):
     """Deterministic periodic spike trains with per-neuron phase offsets."""
 
+    _TICK_CHUNK = 65536  # elements per vectorized block in sample_ticks
+
     def __init__(self, size: int, period_ms: float, phase_ms=0.0) -> None:
         check_positive("size", size)
         check_positive("period_ms", period_ms)
@@ -81,6 +83,38 @@ class RegularSource(SpikeSource):
         curr = np.floor(since_phase / self.period_ms)
         fired = eligible & (curr > prev) | (eligible & np.isclose(since_phase, 0.0))
         return np.nonzero(fired)[0]
+
+    def sample_ticks(
+        self, n_steps: int, dt: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """All spikes for ``n_steps`` ticks at once, as ``(ids, ticks)``.
+
+        Evaluates the exact per-tick :meth:`sample` expressions on a
+        (ticks, neurons) grid — same floats, same comparisons — so the
+        emitted (neuron, tick) pairs match tick-by-tick sampling
+        bit-for-bit.  Entries are sorted by (tick, neuron id).
+        """
+        ids: List[np.ndarray] = []
+        ticks: List[np.ndarray] = []
+        chunk = max(1, self._TICK_CHUNK // max(1, self.size))
+        for start in range(0, n_steps, chunk):
+            steps = np.arange(start, min(start + chunk, n_steps))
+            t = (steps * dt)[:, None]
+            since_phase = t - self.phase_ms[None, :]
+            eligible = since_phase >= 0
+            prev = np.floor((since_phase - dt) / self.period_ms)
+            curr = np.floor(since_phase / self.period_ms)
+            fired = (
+                eligible & (curr > prev)
+                | (eligible & np.isclose(since_phase, 0.0))
+            )
+            rows, cols = np.nonzero(fired)
+            ticks.append(rows + start)
+            ids.append(cols)
+        if not ids:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        return np.concatenate(ids), np.concatenate(ticks)
 
 
 class ScheduledSource(SpikeSource):
@@ -116,6 +150,42 @@ class ScheduledSource(SpikeSource):
                 fired.append(i)
                 self._cursors[i] = n
         return np.asarray(fired, dtype=np.int64)
+
+    def sample_ticks(
+        self, n_steps: int, dt: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """All spikes for ``n_steps`` ticks at once, as ``(ids, ticks)``.
+
+        A spike at time ``s`` fires on the first tick whose end
+        ``(step + 1) * dt`` exceeds ``s`` — located by searchsorted over
+        the same tick-end grid the per-tick cursor walk compares against,
+        so results (and the advanced cursors) match :meth:`sample`
+        bit-for-bit.  Entries are sorted by (tick, neuron id).
+        """
+        t_end_grid = np.arange(1, n_steps + 1, dtype=np.int64) * dt
+        horizon = t_end_grid[-1] if n_steps else 0.0
+        ids: List[np.ndarray] = []
+        ticks: List[np.ndarray] = []
+        for i, times in enumerate(self._times):
+            start = int(self._cursors[i])
+            if n_steps == 0:
+                continue
+            consumed = int(np.searchsorted(times, horizon, side="left"))
+            if consumed <= start:
+                continue
+            fire_ticks = np.unique(
+                np.searchsorted(t_end_grid, times[start:consumed], side="right")
+            )
+            self._cursors[i] = consumed
+            ids.append(np.full(fire_ticks.size, i, dtype=np.int64))
+            ticks.append(fire_ticks)
+        if not ids:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        ids_all = np.concatenate(ids)
+        ticks_all = np.concatenate(ticks)
+        order = np.lexsort((ids_all, ticks_all))
+        return ids_all[order], ticks_all[order]
 
     @property
     def spike_times(self) -> List[np.ndarray]:

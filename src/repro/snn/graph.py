@@ -83,6 +83,9 @@ class SpikeGraph:
 
         Per-synapse traffic is the pre-synaptic neuron's spike count — every
         pre spike must be conveyed to every post target of that neuron.
+        The counts come from ``result.spike_counts()``, which the columnar
+        engine caches as one bincount over its (neuron, tick) spike
+        columns — no per-neuron length walk at paper scale.
         """
         if result.n_neurons != network.n_neurons:
             raise ValueError(
@@ -177,7 +180,11 @@ class SpikeGraph:
 
     def spike_counts(self) -> np.ndarray:
         """Spikes emitted per neuron."""
-        return np.asarray([t.size for t in self.spike_times], dtype=np.int64)
+        return np.fromiter(
+            (t.size for t in self.spike_times),
+            dtype=np.int64,
+            count=self.n_neurons,
+        )
 
     def out_degree(self) -> np.ndarray:
         """Synapse out-degree per neuron."""

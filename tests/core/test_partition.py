@@ -2,12 +2,16 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.partition import (
     Partition,
     is_feasible,
     random_assignment,
     repair_assignment,
+    repair_assignment_reference,
+    repair_batch,
 )
 
 
@@ -99,6 +103,153 @@ class TestRepairAssignment:
         r1 = repair_assignment(a, 3, 2, rng=42)
         r2 = repair_assignment(a, 3, 2, rng=42)
         assert np.array_equal(r1, r2)
+
+
+class TestHeapRepairMatchesReference:
+    """The heap-based repair must replay the argmin scan bit-for-bit."""
+
+    def test_move_cost_path_equivalence(self):
+        rng = np.random.default_rng(11)
+        for _ in range(60):
+            c = int(rng.integers(1, 9))
+            cap = int(rng.integers(1, 12))
+            n = int(rng.integers(1, c * cap + 1))
+            a = rng.integers(0, c, size=n)
+            cost = rng.uniform(0, 4, n)
+            if rng.random() < 0.4:
+                cost = np.round(cost)  # force cost ties
+            assert np.array_equal(
+                repair_assignment(a, c, cap, move_cost=cost),
+                repair_assignment_reference(a, c, cap, move_cost=cost),
+            )
+
+    def test_random_path_equivalence(self):
+        rng = np.random.default_rng(12)
+        for _ in range(40):
+            c = int(rng.integers(2, 7))
+            cap = int(rng.integers(2, 9))
+            n = int(rng.integers(2, c * cap + 1))
+            a = rng.integers(0, c, size=n)
+            seed = int(rng.integers(0, 2**31))
+            assert np.array_equal(
+                repair_assignment(a, c, cap, rng=seed),
+                repair_assignment_reference(a, c, cap, rng=seed),
+            )
+
+
+class TestRepairBatch:
+    def _loop(self, batch, c, cap, cost):
+        return np.stack([
+            repair_assignment_reference(batch[i], c, cap, move_cost=cost)
+            for i in range(batch.shape[0])
+        ])
+
+    def test_feasible_batch_untouched(self):
+        batch = np.array([[0, 1, 0, 1], [1, 1, 0, 0]])
+        out = repair_batch(batch, 2, 2, move_cost=np.zeros(4))
+        assert np.array_equal(out, batch)
+        assert out is not batch
+
+    def test_overfull_rows_match_looped_reference(self):
+        batch = np.array([
+            [0, 0, 0, 0, 1, 1],   # over-full cluster 0
+            [0, 1, 0, 1, 2, 2],   # feasible
+            [2, 2, 2, 2, 2, 2],   # one cluster holds everything
+        ])
+        cost = np.array([5.0, 1.0, 1.0, 3.0, 0.0, 2.0])
+        out = repair_batch(batch, 3, 2, move_cost=cost)
+        assert np.array_equal(out, self._loop(batch, 3, 2, cost))
+
+    def test_all_rows_overfull(self):
+        batch = np.zeros((4, 6), dtype=np.int64)  # every particle infeasible
+        cost = np.arange(6.0)
+        out = repair_batch(batch, 3, 2, move_cost=cost)
+        assert np.array_equal(out, self._loop(batch, 3, 2, cost))
+        for row in out:
+            assert is_feasible(row, 3, 2)
+
+    def test_input_not_mutated(self):
+        batch = np.zeros((2, 4), dtype=np.int64)
+        repair_batch(batch, 2, 2, move_cost=np.arange(4.0))
+        assert (batch == 0).all()
+
+    def test_random_path_uses_per_particle_child_streams(self):
+        """Child seeds are one fixed-size draw: same recipe as the old
+        BinaryPSO._repair_batch, so particle i's randomness is a function
+        of (rng, i) alone."""
+        batch = np.array([
+            [0, 0, 0, 0, 1, 1],
+            [0, 1, 0, 1, 1, 0],
+            [1, 1, 1, 1, 0, 0],
+        ])
+        out = repair_batch(batch, 2, 3, rng=np.random.default_rng(9))
+        rng = np.random.default_rng(9)
+        child = rng.integers(0, 2**63 - 1, size=3)
+        expected = batch.copy()
+        for i in range(3):
+            if np.bincount(expected[i], minlength=2).max() > 3:
+                expected[i] = repair_assignment_reference(
+                    expected[i], 2, 3, rng=np.random.default_rng(int(child[i]))
+                )
+        assert np.array_equal(out, expected)
+
+    def test_random_path_draw_is_feasibility_independent(self):
+        """The child-seed draw happens even for all-feasible batches, so
+        downstream consumers of the shared rng see a fixed stream."""
+        rng1 = np.random.default_rng(3)
+        repair_batch(np.array([[0, 1]]), 2, 1, rng=rng1)
+        rng2 = np.random.default_rng(3)
+        repair_batch(np.array([[0, 0]]), 2, 1, rng=rng2)
+        assert rng1.integers(0, 2**31) == rng2.integers(0, 2**31)
+
+    def test_move_cost_path_consumes_no_randomness(self):
+        rng = np.random.default_rng(4)
+        before = rng.bit_generator.state
+        repair_batch(np.zeros((3, 4), dtype=np.int64), 2, 2,
+                     rng=rng, move_cost=np.arange(4.0))
+        assert rng.bit_generator.state == before
+
+    def test_impossible_raises(self):
+        with pytest.raises(ValueError, match="cannot fit"):
+            repair_batch(np.zeros((2, 5), dtype=np.int64), 2, 2)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            repair_batch(np.zeros(4, dtype=np.int64), 2, 2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            repair_batch(np.array([[0, 5]]), 2, 2)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_hypothesis_equivalence_move_cost(self, data):
+        c = data.draw(st.integers(1, 6), label="clusters")
+        cap = data.draw(st.integers(1, 6), label="capacity")
+        n = data.draw(st.integers(1, c * cap), label="neurons")
+        p = data.draw(st.integers(1, 5), label="particles")
+        batch = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(st.integers(0, c - 1), min_size=n, max_size=n),
+                    min_size=p, max_size=p,
+                ),
+                label="assignments",
+            ),
+            dtype=np.int64,
+        )
+        cost = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(0.0, 10.0, allow_nan=False), min_size=n, max_size=n
+                ),
+                label="cost",
+            )
+        )
+        out = repair_batch(batch, c, cap, move_cost=cost)
+        assert np.array_equal(out, self._loop(batch, c, cap, cost))
+        for row in out:
+            assert is_feasible(row, c, cap)
 
 
 class TestRandomAssignment:

@@ -1,11 +1,17 @@
 """Tests for the binary PSO optimizer."""
 
+import hashlib
+
 import numpy as np
 import pytest
 
 from repro.core.fitness import InterconnectFitness
 from repro.core.partition import is_feasible
 from repro.core.pso import BinaryPSO, PSOConfig
+
+
+def _digest(arr: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()[:16]
 
 
 def _pso(graph, n_clusters=2, capacity=4, **cfg_kwargs):
@@ -115,6 +121,134 @@ class TestRepairIndependence:
         repaired_a = fresh()._repair_batch(batch_a.copy())
         repaired_b = fresh()._repair_batch(batch_b.copy())
         assert np.array_equal(repaired_a[1:], repaired_b[1:])
+
+
+class TestPinnedDeterminism:
+    """optimize() must reproduce the pre-refactor trajectories exactly.
+
+    The hashes below were captured from the original (pre-vectorization,
+    pre-buffer-reuse) implementation: per-particle repair loop, repeat/tile
+    one-hot, out-of-place velocity update.  The batched/in-place rewrite
+    must hit the same best assignments, fitness values and full history,
+    bit for bit, for every seed/binarization/repair-path combination.
+    """
+
+    # (seed, binarization, with_move_cost) -> (best digest, best fitness,
+    #                                          history digest)
+    PINNED = {
+        (0, "stochastic", True): ("6bb60a1095bd987c", 1.0, "c7a425b205a6bde4"),
+        (0, "stochastic", False): ("caf4e136368dceeb", 3.0, "31ecdfaa2fe436af"),
+        (0, "argmax", True): ("3d80ec5ff537859f", 1.0, "f23a37197b97f182"),
+        (0, "argmax", False): ("93f4acd365ea68be", 7.0, "72c0e9a257ec4782"),
+        (7, "stochastic", True): ("bd77e4586edec16a", 0.0, "2ea193d3464c0840"),
+        (7, "stochastic", False): ("a513d57d5ad85b27", 2.0, "ebab783b52358843"),
+        (7, "argmax", True): ("c23e53a57de4208a", 1.0, "460aae4a3461e553"),
+        (7, "argmax", False): ("926eb596d5a36f9e", 4.0, "723320210e356af8"),
+    }
+
+    @staticmethod
+    def _run(seed, binarization, with_cost):
+        n, c, cap = 60, 6, 12
+        cost = np.random.default_rng(123).uniform(0, 5, n) if with_cost else None
+
+        def fitness(batch):
+            return (batch * np.arange(1, n + 1)).sum(axis=1).astype(float) % 977
+
+        pso = BinaryPSO(
+            fitness, n_neurons=n, n_clusters=c, capacity=cap,
+            config=PSOConfig(
+                n_particles=30, n_iterations=12, binarization=binarization
+            ),
+            move_cost=cost, seed=seed,
+        )
+        return pso.optimize()
+
+    @pytest.mark.parametrize("key", sorted(PINNED, key=str))
+    def test_matches_pre_refactor_seeds(self, key):
+        expected = self.PINNED[key]
+        result = self._run(*key)
+        assert _digest(result.best_assignment) == expected[0]
+        assert result.best_fitness == expected[1]
+        assert _digest(result.history) == expected[2]
+
+    def test_warm_start_matches_pre_refactor_seeds(self):
+        n, c, cap = 50, 5, 12
+        cost = np.random.default_rng(5).uniform(0, 3, n)
+
+        def fitness(batch):
+            return np.abs(np.diff(batch, axis=1)).sum(axis=1).astype(float)
+
+        pinned = {0: ("206c696f2fc30a0a", 45.0), 7: ("577589b1aec0f7f5", 47.0)}
+        for seed, (digest, best) in pinned.items():
+            pso = BinaryPSO(
+                fitness, n_neurons=n, n_clusters=c, capacity=cap,
+                config=PSOConfig(n_particles=20, n_iterations=10),
+                move_cost=cost, seed=seed,
+            )
+            seeds = np.stack([np.arange(n) % c, (np.arange(n) * 3) % c])
+            result = pso.optimize(initial_assignments=seeds)
+            assert _digest(result.best_assignment) == digest
+            assert result.best_fitness == best
+
+    def test_early_stop_matches_pre_refactor_seeds(self):
+        def fitness(batch):
+            return np.full(batch.shape[0], 5.0)
+
+        pso = BinaryPSO(
+            fitness, n_neurons=40, n_clusters=4, capacity=12,
+            config=PSOConfig(
+                n_particles=16, n_iterations=30, early_stop_patience=3
+            ),
+            seed=3,
+        )
+        result = pso.optimize()
+        assert result.n_iterations_run == 4
+        assert _digest(result.best_assignment) == "c86f14ecabd7cede"
+
+
+class TestOneHot:
+    def test_put_along_axis_matches_legacy_build(self, tiny_graph):
+        pso = _pso(tiny_graph, n_particles=6)
+        assignments = np.random.default_rng(0).integers(0, 2, size=(6, 8))
+        onehot = pso._one_hot(assignments)
+        # Legacy construction: {0,1} -> {-x_max/2, +x_max/2}.
+        legacy = np.zeros((6, 8, 2))
+        idx_p = np.repeat(np.arange(6), 8)
+        idx_n = np.tile(np.arange(8), 6)
+        legacy[idx_p, idx_n, assignments.ravel()] = 1.0
+        legacy = (legacy * 2.0 - 1.0) * (pso.config.x_max / 2.0)
+        assert np.array_equal(onehot, legacy)
+
+    def test_buffer_reused_across_calls(self, tiny_graph):
+        pso = _pso(tiny_graph, n_particles=6)
+        a = np.zeros((6, 8), dtype=np.int64)
+        first = pso._one_hot(a)
+        second = pso._one_hot(a)
+        assert first is second  # same reusable buffer
+
+    def test_callers_copy_what_they_keep(self, tiny_graph):
+        """gbest/pbest snapshots must survive the buffer being rewritten."""
+        result = _pso(tiny_graph, n_particles=8, n_iterations=6).optimize()
+        assert is_feasible(result.best_assignment, 2, 4)
+
+
+class TestFloat32Swarm:
+    def test_float32_runs_and_is_feasible(self, tiny_graph):
+        pso = _pso(tiny_graph, n_particles=12, n_iterations=8,
+                   dtype=np.float32)
+        result = pso.optimize()
+        assert is_feasible(result.best_assignment, 2, 4)
+        assert result.best_assignment.dtype == np.int64
+
+    def test_float32_deterministic(self, tiny_graph):
+        r1 = _pso(tiny_graph, dtype=np.float32, n_iterations=8).optimize()
+        r2 = _pso(tiny_graph, dtype=np.float32, n_iterations=8).optimize()
+        assert np.array_equal(r1.best_assignment, r2.best_assignment)
+        assert np.array_equal(r1.history, r2.history)
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(ValueError, match="dtype"):
+            PSOConfig(dtype=np.int32)
 
 
 class TestBinarizationModes:

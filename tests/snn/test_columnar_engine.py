@@ -1,0 +1,286 @@
+"""Columnar vs reference SNN engine: bit-identical spike trains.
+
+The columnar engine (precomputed source spikes, fused LIF stepping,
+CSR/dense delivery, one sort/split at the end) must reproduce the
+reference per-tick loop exactly — spike times AND learned STDP weights —
+across dt, delays, source types, neuron models, sparsity regimes and
+learning configurations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.snn import simulator as simulator_module
+from repro.snn.generators import (
+    PoissonSource,
+    RegularSource,
+    ScheduledSource,
+    SpikeSource,
+)
+from repro.snn.network import Network
+from repro.snn.neuron import AdaptiveLIFModel, IzhikevichModel, LIFModel
+from repro.snn.simulator import Simulation, run_network
+from repro.snn.stdp import STDPRule
+
+
+def assert_engines_identical(net, duration, dt=1.0, seed=7, stdp=None,
+                             learning=True):
+    """Run both engines from identical initial state; compare everything."""
+    saved_weights = [proj.weights.copy() for proj in net.projections]
+    ref = Simulation(net, dt=dt, seed=seed, stdp=stdp,
+                     engine="reference").run(duration, learning=learning)
+    ref_weights = [proj.weights.copy() for proj in net.projections]
+    for proj, w in zip(net.projections, saved_weights):
+        proj.weights[...] = w
+    col = Simulation(net, dt=dt, seed=seed, stdp=stdp,
+                     engine="columnar").run(duration, learning=learning)
+    assert ref.duration_ms == col.duration_ms
+    assert ref.dt == col.dt
+    for gid, (a, b) in enumerate(zip(ref.spike_times, col.spike_times)):
+        assert np.array_equal(a, b), (
+            f"neuron {gid}: reference {a.size} spikes vs columnar {b.size}"
+        )
+    for proj, w_ref in zip(net.projections, ref_weights):
+        assert np.array_equal(proj.weights, w_ref), (
+            f"projection {proj.describe()}: weights diverged"
+        )
+    assert np.array_equal(ref.spike_counts(), col.spike_counts())
+    return ref, col
+
+
+def _lif_recurrent_net(seed=0):
+    rng = np.random.default_rng(seed)
+    net = Network("lif-recurrent")
+    net.add_source("pa", PoissonSource(12, 80.0))
+    net.add_source("pb", PoissonSource(8, np.linspace(20.0, 120.0, 8)))
+    net.add_population("x", 20, LIFModel(), bias_current=2.0)
+    net.add_population("y", 10, LIFModel(tau_m=30.0, t_ref=3.0,
+                                         resistance=2.0))
+    net.add_population("z", 6, LIFModel(t_ref=0.0))
+    net.connect("pa", "x", weights=rng.uniform(0, 60, (12, 20)))
+    net.connect("pb", "x", weights=rng.uniform(0, 40, (8, 20)), delay_ms=2.0)
+    net.connect("x", "y", weights=rng.uniform(0, 80, (20, 10)), delay_ms=3.0)
+    net.connect("y", "x", weights=rng.uniform(-40, 0, (10, 20)), delay_ms=1.0)
+    net.connect("y", "z", weights=rng.uniform(0, 120, (10, 6)))
+    return net
+
+
+class TestEquivalenceMatrix:
+    @pytest.mark.parametrize("dt", [1.0, 0.5, 0.25])
+    def test_multi_pop_recurrent_lif(self, dt):
+        assert_engines_identical(_lif_recurrent_net(), 200.0, dt=dt)
+
+    @pytest.mark.parametrize("seed", [0, 1, 42])
+    def test_seed_sweep(self, seed):
+        assert_engines_identical(_lif_recurrent_net(), 150.0, seed=seed)
+
+    @pytest.mark.parametrize("t_ref", [0.7, 1.0, 2.0])
+    def test_non_dyadic_dt_refractory_residue(self, t_ref):
+        """Regression: at dt=0.1, sequential max(r - dt, 0) countdowns
+        leave an eps-scale positive refractory residue past
+        ceil(t_ref / dt) ticks; the fused fast path must not re-enable
+        such neurons one tick before the reference engine does."""
+        rng = np.random.default_rng(2)
+        net = Network("residue")
+        net.add_source("p", PoissonSource(8, 90.0))
+        net.add_population("o", 10, LIFModel(t_ref=t_ref))
+        net.connect("p", "o", weights=rng.uniform(20, 90, (8, 10)))
+        assert_engines_identical(net, 40.0, dt=0.1)
+
+    @pytest.mark.parametrize("delay", [1.0, 2.0, 5.0])
+    def test_delay_sweep(self, delay):
+        rng = np.random.default_rng(3)
+        net = Network("delays")
+        net.add_source("p", PoissonSource(10, 90.0))
+        net.add_population("o", 12, LIFModel())
+        net.connect("p", "o", weights=rng.uniform(0, 70, (10, 12)),
+                    delay_ms=delay)
+        net.connect("o", "o", weights=rng.uniform(-20, 20, (12, 12)),
+                    delay_ms=delay)
+        assert_engines_identical(net, 200.0)
+
+    def test_scheduled_and_regular_sources(self):
+        net = Network("sched-reg")
+        net.add_source("sch", ScheduledSource(
+            [[1.0, 5.5, 5.7, 9.0], [], [2.0, 2.5, 30.0]]
+        ))
+        net.add_source("reg", RegularSource(
+            4, period_ms=7.0, phase_ms=[0.0, 1.0, 2.0, 3.0]
+        ))
+        net.add_population("o", 6, LIFModel())
+        net.connect("sch", "o", weights=np.full((3, 6), 200.0))
+        net.connect("reg", "o", weights=np.full((4, 6), 100.0), delay_ms=2.0)
+        assert_engines_identical(net, 60.0)
+        assert_engines_identical(net, 60.0, dt=0.5)
+
+    def test_izhikevich_and_adaptive_lif_fall_back(self):
+        rng = np.random.default_rng(5)
+        net = Network("fallback")
+        net.add_source("p", PoissonSource(10, 100.0))
+        net.add_population("iz", 8, IzhikevichModel())
+        net.add_population("al", 8, AdaptiveLIFModel())
+        net.add_population("l", 8, LIFModel())
+        net.connect("p", "iz", weights=rng.uniform(0, 25, (10, 8)))
+        net.connect("p", "al", weights=rng.uniform(0, 80, (10, 8)))
+        net.connect("iz", "l", weights=rng.uniform(0, 90, (8, 8)),
+                    delay_ms=2.0)
+        net.connect("al", "l", weights=rng.uniform(0, 90, (8, 8)))
+        assert_engines_identical(net, 250.0)
+
+    @pytest.mark.parametrize("learning", [True, False])
+    def test_stdp_spike_trains_and_weights(self, learning):
+        rng = np.random.default_rng(6)
+        net = Network("stdp")
+        net.add_source("p", PoissonSource(15, 90.0))
+        net.add_population("e", 10, LIFModel())
+        net.connect("p", "e", weights=rng.uniform(20, 60, (15, 10)),
+                    plastic=True)
+        net.connect("e", "e", weights=rng.uniform(-10, 10, (10, 10)),
+                    delay_ms=2.0)
+        assert_engines_identical(
+            net, 250.0,
+            stdp=STDPRule(a_plus=0.05, a_minus=0.06, w_max=80.0),
+            learning=learning,
+        )
+
+    def test_sparse_projection_takes_csr_path(self):
+        rng = np.random.default_rng(8)
+        net = Network("sparse")
+        net.add_source("p", PoissonSource(64, 70.0))
+        net.add_population("h", 300, LIFModel())
+        w_in = rng.uniform(0, 100, (64, 300)) * (rng.random((64, 300)) < 0.1)
+        w_rec = rng.uniform(0, 10, (300, 300)) * (rng.random((300, 300)) < 0.05)
+        np.fill_diagonal(w_rec, 0.0)
+        net.connect("p", "h", weights=w_in)
+        net.connect("h", "h", weights=w_rec, delay_ms=2.0)
+        assert w_in.size >= simulator_module.CSR_MIN_DENSE_SIZE
+        assert_engines_identical(net, 150.0)
+
+    def test_dense_vs_csr_dispatch_toggle(self, monkeypatch):
+        """Forcing every projection down either path changes nothing."""
+        net = _lif_recurrent_net(seed=9)
+
+        monkeypatch.setattr(simulator_module, "CSR_MIN_DENSE_SIZE", 0)
+        monkeypatch.setattr(simulator_module, "CSR_DENSITY_THRESHOLD", 1.0)
+        all_csr = Simulation(net, seed=7, engine="columnar").run(150.0)
+
+        monkeypatch.setattr(simulator_module, "CSR_MIN_DENSE_SIZE", 10**12)
+        all_dense = Simulation(net, seed=7, engine="columnar").run(150.0)
+
+        for a, b in zip(all_csr.spike_times, all_dense.spike_times):
+            assert np.array_equal(a, b)
+
+    def test_custom_source_falls_back_to_per_tick_sampling(self):
+        class EveryOther(SpikeSource):
+            def __init__(self, size):
+                self.size = size
+
+            def sample(self, step, dt, rng):
+                draw = int(rng.integers(0, 2))  # consumes the stream
+                if (step + draw) % 2 == 0:
+                    return np.arange(self.size)
+                return np.empty(0, dtype=np.int64)
+
+        net = Network("custom")
+        net.add_source("c", EveryOther(3))
+        net.add_source("p", PoissonSource(5, 60.0))
+        net.add_population("o", 4, LIFModel())
+        net.connect("c", "o", weights=np.full((3, 4), 100.0))
+        net.connect("p", "o", weights=np.full((5, 4), 60.0))
+        assert_engines_identical(net, 120.0)
+
+    def test_bias_only_and_idle_networks(self):
+        net = Network("bias")
+        net.add_population("b", 3, LIFModel(), bias_current=30.0)
+        ref, col = assert_engines_identical(net, 100.0)
+        assert col.total_spikes() > 0
+
+        idle = Network("idle")
+        idle.add_population("q", 2, LIFModel())
+        _, col = assert_engines_identical(idle, 50.0)
+        assert col.total_spikes() == 0
+
+    def test_source_only_network(self):
+        net = Network("src-only")
+        net.add_source("s", ScheduledSource([np.arange(0.0, 100.0, 10.0)]))
+        _, col = assert_engines_identical(net, 100.0)
+        assert col.spike_times[0].size == 10
+
+
+class TestColumnarResult:
+    def test_counts_cached_and_consistent(self):
+        net = _lif_recurrent_net()
+        result = Simulation(net, seed=1, engine="columnar").run(100.0)
+        assert result.counts is not None
+        assert np.array_equal(
+            result.counts,
+            np.asarray([t.size for t in result.spike_times]),
+        )
+
+    def test_spike_times_sorted_per_neuron(self):
+        net = _lif_recurrent_net()
+        result = Simulation(net, seed=1, engine="columnar").run(100.0)
+        for t in result.spike_times:
+            assert np.all(np.diff(t) > 0)
+
+    def test_unknown_engine_rejected(self):
+        net = Network("n")
+        net.add_population("a", 1, LIFModel())
+        with pytest.raises(ValueError, match="engine"):
+            Simulation(net, engine="warp")
+
+    def test_run_network_engine_kwarg(self):
+        net = _lif_recurrent_net()
+        a = run_network(net, 80.0, seed=2, engine="columnar")
+        b = run_network(net, 80.0, seed=2, engine="reference")
+        for x, y in zip(a.spike_times, b.spike_times):
+            assert np.array_equal(x, y)
+
+
+class TestSampleTicks:
+    """The vectorized source plans must match per-tick sampling exactly."""
+
+    def test_scheduled_source_plan_and_cursors(self):
+        times = [[0.4, 1.0, 1.1, 7.7], [], [0.0, 99.0]]
+        a, b = ScheduledSource(times), ScheduledSource(times)
+        n_steps, dt = 20, 0.5
+        per_tick = [b.sample(step, dt, None) for step in range(n_steps)]
+        ids, ticks = a.sample_ticks(n_steps, dt)
+        expect_ids, expect_ticks = [], []
+        for step, fired in enumerate(per_tick):
+            expect_ids.extend(int(i) for i in fired)
+            expect_ticks.extend([step] * len(fired))
+        order = np.lexsort((expect_ids, expect_ticks))
+        assert np.array_equal(ids, np.asarray(expect_ids)[order])
+        assert np.array_equal(ticks, np.asarray(expect_ticks)[order])
+        assert np.array_equal(a._cursors, b._cursors)
+
+    def test_regular_source_plan(self):
+        a = RegularSource(5, period_ms=3.0, phase_ms=[0.0, 0.5, 1.0, 1.5, 2.0])
+        n_steps, dt = 40, 0.5
+        ids, ticks = a.sample_ticks(n_steps, dt)
+        got = {(int(t), int(i)) for t, i in zip(ticks, ids)}
+        expected = set()
+        for step in range(n_steps):
+            for i in a.sample(step, dt, None):
+                expected.add((step, int(i)))
+        assert got == expected
+
+    def test_poisson_batched_draw_matches_per_tick_stream(self):
+        """One (ticks, total) matrix consumes the PCG stream exactly like
+        per-tick, per-source draws in population order."""
+        sources = [PoissonSource(7, 80.0), PoissonSource(3, 40.0)]
+        n_steps = 50
+        rng = np.random.default_rng(123)
+        per_tick = [
+            [src.sample(step, 1.0, rng) for src in sources]
+            for step in range(n_steps)
+        ]
+        rng2 = np.random.default_rng(123)
+        u = rng2.random(size=(n_steps, 10))
+        p = np.concatenate([src.rates_hz * (1.0 / 1000.0) for src in sources])
+        for step in range(n_steps):
+            fired_a = np.nonzero(u[step, :7] < p[:7])[0]
+            fired_b = np.nonzero(u[step, 7:] < p[7:])[0]
+            assert np.array_equal(fired_a, per_tick[step][0])
+            assert np.array_equal(fired_b, per_tick[step][1])
