@@ -1,0 +1,155 @@
+"""Bench: fault injection and resilient runtime remapping end to end.
+
+Maps hello_world onto a 3x3 single-chip mesh and exercises the fault
+subsystem on a realistic workload:
+
+- **degradation curve** — the same mapping simulated at rising link
+  fault counts (`repro.framework.pipeline.run_fault_sweep`); every
+  packet must still deliver over the shortest-path detours, and
+  latency/energy may only grow relative to the healthy fabric;
+- **backend equivalence** — the most-degraded fabric produces
+  bit-identical ``ScheduleSummary`` values on the reference and fast
+  backends (the C-kernel mask path needs no special casing for
+  degraded topologies);
+- **live crossbar fault** — a ``FaultEvent`` marks one crossbar faulty
+  mid-run and the ``RuntimeRemapper`` migrates every neuron off it
+  under the migration budget, keeping the assignment feasible.
+
+Set ``FAULT_REPORT_PATH`` to also write the degradation curve and the
+evacuation audit as JSON (uploaded as a CI artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.mapper import map_snn
+from repro.core.partition import is_feasible
+from repro.core.runtime import FaultEvent, RuntimeRemapper
+from repro.framework.pipeline import run_fault_sweep
+from repro.hardware.presets import custom
+from repro.noc.fastsim import FastInterconnect
+from repro.noc.faults import inject_random_faults
+from repro.noc.interconnect import Interconnect, NocConfig
+from repro.noc.parallel import summarize
+from repro.noc.traffic import build_injections
+
+FAULT_COUNTS = (0, 1, 2, 4)
+FAULT_SEED = 2018
+MIGRATION_BUDGET = 6
+
+
+def _platform_for(graph):
+    # One spare crossbar's worth of slack: 9 crossbars sized for 8, so
+    # a single crossbar fault is always fully absorbable.
+    per_xbar = max(16, -(-graph.n_neurons // 8))
+    return custom(9, per_xbar, interconnect="mesh", name="fault-bench")
+
+
+def test_fault_tolerance(benchmark, hello_world_graph):
+    graph = hello_world_graph
+    arch = _platform_for(graph)
+    mapping = map_snn(graph, arch, method="pacman")
+
+    # Degradation curve: one mapping, rising fault counts.
+    t0 = time.perf_counter()
+    curve = run_fault_sweep(
+        graph,
+        arch,
+        fault_counts=FAULT_COUNTS,
+        fault_seed=FAULT_SEED,
+        noc_config=NocConfig(backend="fast"),
+        mapping=mapping,
+    )
+    sweep_s = time.perf_counter() - t0
+    healthy = curve.healthy
+    for point in curve.points:
+        assert point.undelivered_packets == 0, (
+            f"{point.n_faults} faults dropped packets"
+        )
+        assert point.mean_latency_cycles >= healthy.mean_latency_cycles
+        assert point.global_energy_pj >= healthy.global_energy_pj
+    worst = curve.points[-1]
+
+    # Cross-backend equivalence on the most-degraded fabric.
+    topology = arch.build_topology()
+    degraded, _ = inject_random_faults(topology, max(FAULT_COUNTS), seed=FAULT_SEED)
+    schedule = build_injections(
+        graph,
+        mapping.assignment,
+        degraded,
+        cycles_per_ms=arch.cycles_per_ms,
+    )
+    fast_sim = FastInterconnect(degraded, config=NocConfig(backend="fast"))
+    ref_summary = summarize(
+        Interconnect(degraded).simulate(schedule.injections), degraded
+    )
+    fast_summary = summarize(fast_sim.simulate(schedule), degraded)
+    assert ref_summary == fast_summary, "backends diverged on degraded fabric"
+
+    # Live fault: one crossbar dies mid-run; the remapper evacuates it.
+    remapper = RuntimeRemapper(
+        graph,
+        n_clusters=arch.n_crossbars,
+        capacity=arch.neurons_per_crossbar,
+        assignment=mapping.assignment,
+        migration_budget=MIGRATION_BUDGET,
+    )
+    victim = max(range(arch.n_crossbars), key=lambda c: len(remapper.neurons_on(c)))
+    stranded = len(remapper.neurons_on(victim))
+    assert stranded > 0
+    remapper.apply_fault(
+        FaultEvent(crossbar=victim, time=0.0, description="bench fault")
+    )
+    epochs = 0
+    while not remapper.evacuated(victim):
+        epoch = remapper.remap_epoch()
+        epochs += 1
+        assert all(m.to_cluster != victim for m in epoch.moves)
+        assert epochs <= 2 * arch.n_crossbars, "evacuation did not converge"
+    assert remapper.neurons_on(victim) == []
+    assert is_feasible(
+        remapper.assignment, arch.n_crossbars, arch.neurons_per_crossbar
+    )
+    evacuation_migrations = remapper.total_migrations()
+
+    print()
+    print(curve.table())
+    print(
+        f"fault sweep {sweep_s * 1e3:.0f}ms; worst fabric "
+        f"({worst.n_faults} faults) latency x"
+        f"{curve.latency_overhead(worst):.2f}; crossbar {victim} "
+        f"evacuated {stranded} neurons in {epochs} epochs "
+        f"({evacuation_migrations} migrations, budget "
+        f"{MIGRATION_BUDGET}/epoch)"
+    )
+
+    report_path = os.environ.get("FAULT_REPORT_PATH")
+    if report_path:
+        with open(report_path, "w") as fh:
+            json.dump(
+                {
+                    "degradation_curve": curve.to_dict(),
+                    "latency_overhead_worst": curve.latency_overhead(worst),
+                    "bit_identical": ref_summary == fast_summary,
+                    "kernel_active": fast_sim._ck is not None,
+                    "sweep_s": sweep_s,
+                    "evacuation": {
+                        "crossbar": victim,
+                        "neurons": stranded,
+                        "epochs": epochs,
+                        "migrations": evacuation_migrations,
+                        "migration_budget": MIGRATION_BUDGET,
+                        "evacuated": remapper.evacuated(victim),
+                    },
+                },
+                fh,
+                indent=2,
+            )
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.extra_info["latency_overhead_worst"] = curve.latency_overhead(worst)
+    benchmark.extra_info["bit_identical"] = ref_summary == fast_summary
+    benchmark.extra_info["evacuation_migrations"] = evacuation_migrations

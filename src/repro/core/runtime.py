@@ -14,12 +14,19 @@ epoch applies up to ``migration_budget`` single-neuron moves, always the
 move with the largest traffic reduction, stopping early when no improving
 move exists.  Every epoch is recorded so callers can audit what moved and
 why.
+
+The remapper also reacts to hardware faults: feeding it a
+:class:`FaultEvent` marks a crossbar's cluster faulty, and subsequent
+epochs *evacuate* that cluster — forced migrations that run before any
+optimizing move, still under the same migration budget, and may carry
+negative gains (survival beats traffic).  Faulty clusters are never the
+target of an optimizing move or swap afterwards.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -30,13 +37,33 @@ from repro.utils.validation import check_nonnegative, check_positive
 
 
 @dataclass(frozen=True)
+class FaultEvent:
+    """A hardware element failing while the application runs.
+
+    ``crossbar`` is the cluster index of the failed compute array (the
+    router keeps switching traffic — only the neurons must leave).
+    ``time`` is an optional caller-defined timestamp (cycle, epoch,
+    wall-clock tick) recorded for audit trails.
+    """
+
+    crossbar: int
+    time: float = 0.0
+    description: str = ""
+
+
+@dataclass(frozen=True)
 class Move:
-    """One neuron migration applied by a remap epoch."""
+    """One neuron migration applied by a remap epoch.
+
+    ``forced`` marks evacuation moves off a faulty crossbar, which may
+    carry negative gains; optimizing moves always gain.
+    """
 
     neuron: int
     from_cluster: int
     to_cluster: int
     gain: float  # traffic removed from the interconnect (positive = good)
+    forced: bool = False
 
 
 @dataclass
@@ -74,13 +101,18 @@ class RuntimeRemapper:
         check_nonnegative("migration_budget", migration_budget)
         if not is_feasible(np.asarray(assignment), n_clusters, capacity):
             raise ValueError("initial assignment is not feasible")
-        self.graph = graph
+        # Private copy of the spike graph: observe_traffic rewrites the
+        # traffic column, and that must never leak into the caller's
+        # (shared) graph object.
+        self.graph = replace(graph, traffic=graph.traffic.copy())
         self.n_clusters = n_clusters
         self.capacity = capacity
         self.migration_budget = migration_budget
         self.assignment = np.asarray(assignment, dtype=np.int64).copy()
         self.history: List[RemapEpoch] = []
-        self._load_matrix(TrafficMatrix(graph))
+        self.faulty_clusters: Set[int] = set()
+        self.fault_log: List[FaultEvent] = []
+        self._load_matrix(TrafficMatrix(self.graph))
 
     def _load_matrix(self, matrix: TrafficMatrix) -> None:
         self._matrix = matrix
@@ -109,6 +141,45 @@ class RuntimeRemapper:
             raise ValueError("observed traffic must be non-negative")
         self.graph.traffic = traffic
         self._load_matrix(TrafficMatrix(self.graph))
+
+    # -- fault feed --------------------------------------------------------------
+
+    def apply_fault(self, event: FaultEvent) -> None:
+        """Mark ``event.crossbar``'s cluster faulty; epochs evacuate it.
+
+        Rejects out-of-range clusters and fault sets that leave less
+        healthy capacity than the application has neurons — such a
+        fabric cannot host the SNN at all, and pretending to remap onto
+        it would only thrash the budget.
+        """
+        cluster = int(event.crossbar)
+        if not 0 <= cluster < self.n_clusters:
+            raise ValueError(
+                f"crossbar {cluster} out of range [0, {self.n_clusters})"
+            )
+        healthy_after = self.n_clusters - len(
+            self.faulty_clusters | {cluster}
+        )
+        if healthy_after * self.capacity < self.graph.n_neurons:
+            raise ValueError(
+                f"marking crossbar {cluster} faulty leaves "
+                f"{healthy_after} healthy crossbars x {self.capacity} "
+                f"slots for {self.graph.n_neurons} neurons"
+            )
+        self.faulty_clusters.add(cluster)
+        self.fault_log.append(event)
+
+    def mark_crossbar_faulty(self, crossbar: int) -> None:
+        """Shorthand for :meth:`apply_fault` without event metadata."""
+        self.apply_fault(FaultEvent(crossbar=crossbar))
+
+    def neurons_on(self, cluster: int) -> List[int]:
+        """Neurons currently assigned to ``cluster``, ascending."""
+        return [int(n) for n in np.flatnonzero(self.assignment == cluster)]
+
+    def evacuated(self, cluster: int) -> bool:
+        """Whether no neuron remains on ``cluster``."""
+        return not (self.assignment == cluster).any()
 
     # -- queries ---------------------------------------------------------------------
 
@@ -150,9 +221,36 @@ class RuntimeRemapper:
             for cluster in range(self.n_clusters):
                 if cluster == old or sizes[cluster] >= self.capacity:
                     continue
+                if cluster in self.faulty_clusters:
+                    continue
                 gain = self._move_gain(neuron, cluster)
                 if gain > 1e-12 and (best is None or gain > best[2]):
                     best = (neuron, cluster, gain)
+        return best
+
+    def _evacuation_move(
+        self, sizes: np.ndarray
+    ) -> Optional[Tuple[int, int, float]]:
+        """Best forced move off a faulty cluster; gain may be negative.
+
+        Among every stranded neuron and healthy cluster with a free
+        slot, pick the pair losing the least traffic (or gaining the
+        most).  ``None`` when nothing is stranded or no healthy slot
+        remains — the caller reports the stranded neurons honestly
+        rather than violating capacity.
+        """
+        best: Optional[Tuple[int, int, float]] = None
+        for cluster in sorted(self.faulty_clusters):
+            for neuron in self.neurons_on(cluster):
+                for target in range(self.n_clusters):
+                    if (
+                        target in self.faulty_clusters
+                        or sizes[target] >= self.capacity
+                    ):
+                        continue
+                    gain = self._move_gain(neuron, target)
+                    if best is None or gain > best[2]:
+                        best = (neuron, target, gain)
         return best
 
     def _swap_gain(self, i: int, j: int) -> float:
@@ -180,7 +278,7 @@ class RuntimeRemapper:
                 continue
             own = int(a[neuron])
             for cluster in range(self.n_clusters):
-                if cluster == own:
+                if cluster == own or cluster in self.faulty_clusters:
                     continue
                 gain = self._move_gain(neuron, cluster)
                 if gain > 1e-12:
@@ -204,14 +302,34 @@ class RuntimeRemapper:
     def remap_epoch(self) -> RemapEpoch:
         """Apply the best moves/swaps, up to ``migration_budget`` migrations.
 
-        A swap migrates two neurons and therefore consumes two units of
-        budget; it is only considered when single moves are exhausted or
-        the swap's gain beats the best single move.
+        Evacuation runs first: while any neuron sits on a faulty
+        cluster, the least-costly forced move off it is applied (its
+        gain recorded even when negative).  Remaining budget then goes
+        to optimization: a swap migrates two neurons and therefore
+        consumes two units of budget; it is only considered when single
+        moves are exhausted or the swap's gain beats the best single
+        move.
         """
         epoch = RemapEpoch(fitness_before=self.fitness(),
                            fitness_after=0.0)
         sizes = np.bincount(self.assignment, minlength=self.n_clusters)
         budget = self.migration_budget
+        while budget > 0 and any(
+            not self.evacuated(c) for c in self.faulty_clusters
+        ):
+            forced = self._evacuation_move(sizes)
+            if forced is None:
+                break  # stranded: no healthy slot left for them
+            neuron, cluster, gain = forced
+            old = int(self.assignment[neuron])
+            self.assignment[neuron] = cluster
+            sizes[old] -= 1
+            sizes[cluster] += 1
+            epoch.moves.append(
+                Move(neuron=neuron, from_cluster=old,
+                     to_cluster=cluster, gain=gain, forced=True)
+            )
+            budget -= 1
         while budget > 0:
             move = self._best_move(sizes)
             swap = self._best_swap() if budget >= 2 else None
@@ -222,11 +340,17 @@ class RuntimeRemapper:
             if swap is not None and swap_gain > move_gain:
                 i, j, gain = swap
                 ci, cj = int(self.assignment[i]), int(self.assignment[j])
+                # Attribute the exact sequential gains: i's move scored
+                # against the current assignment, j's as the remainder
+                # (= its gain once i has moved).  The two always sum to
+                # the swap's total, so per-move gains add up to the
+                # epoch improvement.
+                gain_i = self._move_gain(i, cj)
                 self.assignment[i], self.assignment[j] = cj, ci
                 epoch.moves.append(Move(neuron=i, from_cluster=ci,
-                                        to_cluster=cj, gain=gain))
+                                        to_cluster=cj, gain=gain_i))
                 epoch.moves.append(Move(neuron=j, from_cluster=cj,
-                                        to_cluster=ci, gain=0.0))
+                                        to_cluster=ci, gain=gain - gain_i))
                 budget -= 2
             else:
                 neuron, cluster, gain = move

@@ -85,6 +85,20 @@ def _add_noc_backend_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    """Fault injection: measure the mapping on a degraded fabric."""
+    parser.add_argument(
+        "--faults", type=int, default=0,
+        help="random survivable link faults to inject before simulating "
+             "(0 = healthy fabric); traffic reroutes over shortest-path "
+             "detours",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="RNG seed for the fault draw (default: unseeded)",
+    )
+
+
 def _add_pso_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--particles", type=int, default=100)
     parser.add_argument("--iterations", type=int, default=50)
@@ -172,8 +186,13 @@ def _cmd_map(args) -> int:
         noc_config=NocConfig(backend=args.noc_backend),
         objective=args.objective,
         workers=args.workers,
+        faults=args.faults,
+        fault_seed=args.fault_seed,
     )
     print(result.mapping.describe())
+    if result.failed_links:
+        links = ", ".join(f"{u}-{v}" for u, v in result.failed_links)
+        print(f"injected {len(result.failed_links)} link faults: {links}")
     print(result.noc_stats.describe())
     print(result.report.table())
     return 0
@@ -293,6 +312,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_arch_arguments(p_map)
     _add_pso_arguments(p_map)
     _add_noc_backend_argument(p_map)
+    _add_fault_arguments(p_map)
     p_map.add_argument("--method", default="pso", choices=METHODS)
 
     p_cmp = sub.add_parser("compare", help="compare partitioning methods")

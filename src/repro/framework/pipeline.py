@@ -7,14 +7,20 @@ graph through mapping, interconnect simulation and metric aggregation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.mapper import MappingResult, map_snn
 from repro.core.pso import PSOConfig
 from repro.hardware.architecture import Architecture
-from repro.metrics.report import MetricReport, build_report
+from repro.metrics.report import (
+    DegradationCurve,
+    MetricReport,
+    build_report,
+    degradation_point,
+)
 from repro.noc.fastsim import build_interconnect
+from repro.noc.faults import inject_random_faults
 from repro.noc.interconnect import NocConfig
 from repro.noc.stats import NocStats
 from repro.noc.topology import Topology
@@ -34,6 +40,7 @@ class PipelineResult:
     noc_stats: NocStats
     report: MetricReport
     topology: Optional[Topology] = None
+    failed_links: List[Tuple[int, int]] = field(default_factory=list)
 
     def describe(self) -> str:
         return "\n".join(
@@ -57,6 +64,8 @@ def run_pipeline(
     simulate_noc: bool = True,
     objective: str = "packets",
     workers=1,
+    faults: int = 0,
+    fault_seed: SeedLike = None,
 ) -> PipelineResult:
     """Map ``graph`` onto ``architecture`` and measure the result.
 
@@ -81,12 +90,25 @@ def run_pipeline(
     workers:
         Worker processes for "noc"-objective swarm scoring (``1`` =
         serial, ``0``/``"auto"`` = one per CPU).
+    faults:
+        Random survivable link faults to inject into the built
+        topology (:func:`~repro.noc.faults.inject_random_faults`)
+        before simulating — the mapping is still optimized for the
+        healthy fabric, so the report measures degradation headroom.
+        Degraded multi-chip fabrics keep their chip/bridge accounting.
+    fault_seed:
+        RNG seed of the fault draw (``faults > 0`` only).
     """
     mapping = map_snn(
         graph, architecture, method=method, seed=seed, pso_config=pso_config,
         objective=objective, workers=workers, noc_config=noc_config,
     )
     topology = architecture.build_topology()
+    failed_links: List[Tuple[int, int]] = []
+    if faults:
+        topology, failed_links = inject_random_faults(
+            topology, faults, seed=fault_seed
+        )
     schedule = build_injections(
         graph,
         mapping.assignment,
@@ -110,4 +132,60 @@ def run_pipeline(
         noc_stats=stats,
         report=report,
         topology=topology,
+        failed_links=failed_links,
     )
+
+
+def run_fault_sweep(
+    graph: SpikeGraph,
+    architecture: Architecture,
+    fault_counts: Sequence[int] = (0, 1, 2, 4),
+    method: str = "pso",
+    seed: SeedLike = None,
+    fault_seed: SeedLike = None,
+    pso_config: Optional[PSOConfig] = None,
+    noc_config: Optional[NocConfig] = None,
+    mapping: Optional[MappingResult] = None,
+) -> DegradationCurve:
+    """Measure one mapping across rising link-fault counts.
+
+    The graph is mapped once (on the healthy fabric, or reuse a
+    precomputed ``mapping``), then simulated on each degraded topology
+    drawn with :func:`~repro.noc.faults.inject_random_faults` under
+    ``fault_seed``.  Traffic reroutes over shortest-path detours; the
+    returned :class:`~repro.metrics.report.DegradationCurve` records
+    latency, energy and spike disorder per fault level.
+    """
+    if mapping is None:
+        mapping = map_snn(
+            graph, architecture, method=method, seed=seed,
+            pso_config=pso_config, noc_config=noc_config,
+        )
+    healthy = architecture.build_topology()
+    healthy_links = healthy.graph.number_of_edges()
+    curve = DegradationCurve(
+        app=graph.name, method=mapping.method, topology_kind=healthy.kind
+    )
+    for n_faults in fault_counts:
+        if n_faults:
+            topology, failed = inject_random_faults(
+                healthy, n_faults, seed=fault_seed
+            )
+        else:
+            topology, failed = healthy, []
+        schedule = build_injections(
+            graph,
+            mapping.assignment,
+            topology,
+            cycles_per_ms=architecture.cycles_per_ms,
+        )
+        stats = build_interconnect(topology, config=noc_config).simulate(
+            schedule
+        )
+        curve.points.append(
+            degradation_point(
+                n_faults, failed, stats, architecture, topology,
+                healthy_links,
+            )
+        )
+    return curve

@@ -25,7 +25,13 @@ from repro.metrics.isi import (
     isi_distortion_per_flow,
     isi_distortion_worst,
 )
-from repro.metrics.report import MetricReport, build_report
+from repro.metrics.report import (
+    DegradationCurve,
+    DegradationPoint,
+    MetricReport,
+    build_report,
+    degradation_point,
+)
 
 __all__ = [
     "disorder_count",
@@ -35,6 +41,9 @@ __all__ = [
     "isi_distortion_worst",
     "MetricReport",
     "build_report",
+    "DegradationCurve",
+    "DegradationPoint",
+    "degradation_point",
     "CongestionReport",
     "congestion_report",
     "bottleneck_links",

@@ -60,7 +60,14 @@ from repro.noc.traffic import (
     build_injections,
     build_injections_batch,
 )
-from repro.noc.faults import degrade_topology, inject_random_faults
+from repro.noc.faults import (
+    FaultSet,
+    apply_faults,
+    bridge_chains,
+    degrade_topology,
+    inject_random_faults,
+    survivable_links,
+)
 
 __all__ = [
     "SpikePacket",
@@ -79,8 +86,12 @@ __all__ = [
     "xy_routing",
     "west_first_routing",
     "shortest_path_routing",
+    "FaultSet",
+    "apply_faults",
+    "bridge_chains",
     "degrade_topology",
     "inject_random_faults",
+    "survivable_links",
     "Interconnect",
     "FastInterconnect",
     "build_interconnect",

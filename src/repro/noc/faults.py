@@ -1,21 +1,340 @@
-"""Link-fault injection for interconnect robustness studies.
+"""Fault injection for interconnect robustness studies.
 
-Real chips lose links to manufacturing defects and aging.  These helpers
-degrade a topology by removing links (validating that the router graph
-stays connected so deterministic rerouting exists) and pick random
-survivable fault sets for Monte-Carlo robustness tests.  Simulating a
-mapped application on the degraded topology shows how much latency and
-energy headroom a mapping has when traffic is forced onto detours.
+Real chips lose routers, links and crossbars to manufacturing defects
+and aging, and the paper's reference platforms (TrueNorth boards,
+HiCANN wafers) are expected to route around the damage.  This module
+describes such damage as a :class:`FaultSet` and applies it to any
+:class:`~repro.noc.topology.Topology` — including
+:class:`~repro.noc.multichip.MultiChipTopology`, whose chip/bridge
+bookkeeping survives degradation minus the failed elements — producing
+a fabric both simulation backends run unchanged and bit-identically.
+
+Fault classes
+-------------
+- **dead links** — an undirected router-to-router link fails; traffic
+  detours over the surviving graph.  On a multi-chip fabric a failed
+  *bridge segment* takes its whole bridge down (a relay chain with a
+  broken stage is useless end to end).
+- **dead routers** — a router fails with every incident link.  Routers
+  hosting crossbars cannot simply vanish (their crossbar would lose its
+  attach point); declare those as faulty crossbars instead.  A dead
+  relay router kills its bridge, like a dead bridge segment.
+- **degraded bridges** — a chip-to-chip bridge survives but retrains to
+  a slower rate: its relay chain grows by ``extra`` stages, so every
+  crossing pays ``bridge_latency + extra`` cycles.
+- **faulty crossbars** — the compute array fails but its router still
+  switches traffic.  The graph is untouched; the runtime layer
+  (:class:`~repro.core.runtime.RuntimeRemapper`) migrates the neurons
+  off (see :class:`~repro.core.runtime.FaultEvent`).
+
+Degraded topologies keep their routers' original ids and carry a
+``*-degraded`` kind, which routes them to adaptive-free shortest-path
+tables (:func:`~repro.noc.routing.routing_for`) — the detours are what
+the simulators then price.
+
+The legacy helpers (:func:`degrade_topology`, :func:`survivable_links`,
+:func:`inject_random_faults`) are retained on top of the fault model;
+``degrade_topology`` now preserves the topology subclass instead of
+collapsing every fabric to a plain :class:`Topology`.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Tuple
 
 import networkx as nx
 
 from repro.noc.topology import Topology
 from repro.utils.rng import SeedLike, default_rng
+
+
+@dataclass(frozen=True)
+class FaultSet:
+    """A set of hardware faults to apply to a topology.
+
+    Attributes
+    ----------
+    dead_links:
+        Undirected router links that failed; stored as ``(min, max)``
+        pairs regardless of the orientation given.
+    dead_routers:
+        Routers that failed entirely (with all incident links).
+    degraded_bridges:
+        ``bridge index -> extra crossing cycles`` for bridges that
+        survive at reduced rate; indices follow
+        :func:`bridge_chains` order.  Multi-chip only.
+    faulty_crossbars:
+        Crossbar indices whose compute array failed; the topology is
+        unchanged, the runtime layer must evacuate their neurons.
+    """
+
+    dead_links: FrozenSet[Tuple[int, int]] = frozenset()
+    dead_routers: FrozenSet[int] = frozenset()
+    degraded_bridges: Mapping[int, int] = field(default_factory=dict)
+    faulty_crossbars: FrozenSet[int] = frozenset()
+
+    def __post_init__(self) -> None:
+        links = frozenset(
+            (min(int(u), int(v)), max(int(u), int(v))) for u, v in self.dead_links
+        )
+        object.__setattr__(self, "dead_links", links)
+        object.__setattr__(
+            self, "dead_routers", frozenset(int(r) for r in self.dead_routers)
+        )
+        degraded = dict(self.degraded_bridges)
+        for bridge, extra in degraded.items():
+            if extra <= 0:
+                raise ValueError(
+                    f"bridge {bridge} degradation must add at least one "
+                    f"cycle, got {extra}"
+                )
+        object.__setattr__(self, "degraded_bridges", degraded)
+        object.__setattr__(
+            self,
+            "faulty_crossbars",
+            frozenset(int(k) for k in self.faulty_crossbars),
+        )
+
+    @property
+    def n_faults(self) -> int:
+        return (
+            len(self.dead_links)
+            + len(self.dead_routers)
+            + len(self.degraded_bridges)
+            + len(self.faulty_crossbars)
+        )
+
+    def __bool__(self) -> bool:
+        return self.n_faults > 0
+
+    def describe(self) -> str:
+        return (
+            f"FaultSet: {len(self.dead_links)} dead links, "
+            f"{len(self.dead_routers)} dead routers, "
+            f"{len(self.degraded_bridges)} degraded bridges, "
+            f"{len(self.faulty_crossbars)} faulty crossbars"
+        )
+
+
+def bridge_chains(topology) -> List[List[int]]:
+    """Ordered relay chains of a multi-chip fabric, one per bridge.
+
+    Each chain runs gateway-to-gateway through the bridge's relay
+    routers, oriented from its lower-numbered gateway, and chains are
+    sorted by their gateway pair — a stable indexing scheme that
+    :class:`FaultSet.degraded_bridges` keys into.
+    """
+    from repro.noc.multichip import RELAY_CHIP
+
+    segments = topology.bridge_links
+    chains: Dict[Tuple[int, ...], List[int]] = {}
+    for gateway, nxt in sorted(topology.bridge_entry_links):
+        chain = [gateway, nxt]
+        while topology.chip_of_router[chain[-1]] == RELAY_CHIP:
+            prev, here = chain[-2], chain[-1]
+            chain.append(
+                next(
+                    v
+                    for v in topology.graph.neighbors(here)
+                    if (here, v) in segments and v != prev
+                )
+            )
+        if chain[0] > chain[-1]:
+            chain.reverse()
+        chains[(chain[0], chain[-1])] = chain
+    return [chains[key] for key in sorted(chains)]
+
+
+def _remove_plain_faults(
+    g: nx.Graph,
+    faults: FaultSet,
+    attach_points: List[int],
+    bridge_segments: FrozenSet[Tuple[int, int]],
+    relay_routers: FrozenSet[int],
+) -> Tuple[List[Tuple[int, int]], List[int]]:
+    """Apply non-bridge link/router faults to ``g`` in place.
+
+    Returns the dead links and routers that belong to bridges instead
+    (whole-bridge semantics, resolved by the caller).
+    """
+    hosts = set(attach_points)
+    bridge_link_hits: List[Tuple[int, int]] = []
+    bridge_router_hits: List[int] = []
+    for u, v in sorted(faults.dead_links):
+        if not g.has_edge(u, v):
+            raise ValueError(f"link ({u}, {v}) does not exist")
+        if (u, v) in bridge_segments:
+            bridge_link_hits.append((u, v))
+        else:
+            g.remove_edge(u, v)
+    for router in sorted(faults.dead_routers):
+        if router not in g:
+            raise ValueError(f"router {router} does not exist")
+        if router in hosts:
+            raise ValueError(
+                f"router {router} hosts a crossbar and cannot be removed; "
+                f"declare the crossbar faulty instead"
+            )
+        if router in relay_routers:
+            bridge_router_hits.append(router)
+        else:
+            g.remove_node(router)
+    return bridge_link_hits, bridge_router_hits
+
+
+def _degraded_kind(kind: str) -> str:
+    return kind if kind.endswith("-degraded") else f"{kind}-degraded"
+
+
+def _check_connected(g: nx.Graph) -> None:
+    if not nx.is_connected(g):
+        raise ValueError("fault set disconnects the interconnect")
+
+
+def _apply_plain(topology: Topology, faults: FaultSet) -> Topology:
+    if faults.degraded_bridges:
+        raise ValueError(
+            "degraded bridges require a multichip topology, got "
+            f"kind {topology.kind!r}"
+        )
+    g = topology.graph.copy()
+    _remove_plain_faults(g, faults, topology.attach_points, frozenset(), frozenset())
+    _check_connected(g)
+    return Topology(
+        graph=g,
+        attach_points=list(topology.attach_points),
+        kind=_degraded_kind(topology.kind),
+        positions={n: xy for n, xy in topology.positions.items() if n in g},
+    )
+
+
+def _apply_multichip(topology, faults: FaultSet) -> Topology:
+    from repro.noc.multichip import RELAY_CHIP, MultiChipTopology
+
+    chains = bridge_chains(topology)
+    relay_routers = frozenset(
+        r for r, c in topology.chip_of_router.items() if c == RELAY_CHIP
+    )
+    for bridge in faults.degraded_bridges:
+        if not 0 <= bridge < len(chains):
+            raise ValueError(f"bridge index {bridge} out of range [0, {len(chains)})")
+
+    g = topology.graph.copy()
+    link_hits, router_hits = _remove_plain_faults(
+        g,
+        faults,
+        topology.attach_points,
+        topology.bridge_links,
+        relay_routers,
+    )
+
+    # Whole-bridge semantics: any hit segment or relay kills its chain.
+    dead_bridges = set()
+    for index, chain in enumerate(chains):
+        nodes = set(chain)
+        segs = {(min(u, v), max(u, v)) for u, v in zip(chain, chain[1:])}
+        if any(hit in segs for hit in link_hits) or any(
+            r in nodes for r in router_hits
+        ):
+            dead_bridges.add(index)
+    for index in sorted(dead_bridges & set(faults.degraded_bridges)):
+        raise ValueError(f"bridge {index} is dead and cannot be degraded")
+    for index in dead_bridges:
+        chain = chains[index]
+        for u, v in zip(chain, chain[1:]):
+            if g.has_edge(u, v):
+                g.remove_edge(u, v)
+        g.remove_nodes_from(n for n in chain[1:-1] if n in g)
+
+    positions = {n: xy for n, xy in topology.positions.items() if n in g}
+    chip_of_router = {
+        n: c for n, c in topology.chip_of_router.items() if n in g
+    }
+
+    # Degraded bridges: retrained chains gain ``extra`` relay stages
+    # spliced in before the far gateway; surviving routers keep their
+    # original ids, new relays take fresh ones.
+    next_id = max(topology.graph.nodes) + 1
+    surviving: List[List[int]] = []
+    for index, chain in enumerate(chains):
+        if index in dead_bridges:
+            continue
+        extra = faults.degraded_bridges.get(index, 0)
+        if extra:
+            tail = chain[-1]
+            new_relays = list(range(next_id, next_id + extra))
+            next_id += extra
+            g.remove_edge(chain[-2], tail)
+            chain = chain[:-1] + new_relays + [tail]
+            for u, v in zip(chain[-extra - 2 :], chain[-extra - 1 :]):
+                g.add_edge(u, v)
+            for relay in new_relays:
+                chip_of_router[relay] = RELAY_CHIP
+                if positions:
+                    # Stack the new stages on the far gateway's plot
+                    # position; exact coordinates only matter for layout.
+                    positions[relay] = positions.get(
+                        tail, next(iter(positions.values()))
+                    )
+        surviving.append(chain)
+
+    _check_connected(g)
+
+    bridge_links = set()
+    bridge_entries = set()
+    for chain in surviving:
+        for u, v in zip(chain, chain[1:]):
+            bridge_links.add((u, v))
+            bridge_links.add((v, u))
+        bridge_entries.add((chain[0], chain[1]))
+        bridge_entries.add((chain[-1], chain[-2]))
+
+    return MultiChipTopology(
+        graph=g,
+        attach_points=list(topology.attach_points),
+        kind=_degraded_kind(topology.kind),
+        positions=positions,
+        n_chips=topology.n_chips,
+        chip_kind=topology.chip_kind,
+        bridge_latency=topology.bridge_latency,
+        chip_of_router=chip_of_router,
+        chip_of_crossbar=list(topology.chip_of_crossbar),
+        bridge_links=frozenset(bridge_links),
+        bridge_entry_links=frozenset(bridge_entries),
+        n_bridges=len(surviving),
+    )
+
+
+def apply_faults(topology: Topology, faults: FaultSet) -> Topology:
+    """Return ``topology`` with ``faults`` applied, same class preserved.
+
+    Dead links and routers are removed from the router graph (validating
+    existence and that the surviving graph stays connected, so
+    deterministic rerouting exists).  On a
+    :class:`~repro.noc.multichip.MultiChipTopology` the chip/bridge
+    bookkeeping is carried over minus the failed elements: a failed
+    bridge segment or relay removes its entire bridge, and degraded
+    bridges grow their relay chains by the requested extra cycles.
+    Faulty crossbars never change the graph — their routers keep
+    switching traffic — but are validated against the attach-point
+    range here so callers can trust the indices downstream.
+
+    Raises ``ValueError`` for nonexistent elements, for dead routers
+    that host crossbars (declare the crossbar faulty instead), and for
+    fault sets that disconnect the fabric.
+    """
+    from repro.noc.multichip import MultiChipTopology
+
+    for k in sorted(faults.faulty_crossbars):
+        if not 0 <= k < topology.n_attach_points:
+            raise ValueError(
+                f"crossbar index {k} out of range "
+                f"[0, {topology.n_attach_points})"
+            )
+    if isinstance(topology, MultiChipTopology):
+        return _apply_multichip(topology, faults)
+    return _apply_plain(topology, faults)
 
 
 def degrade_topology(
@@ -24,35 +343,54 @@ def degrade_topology(
 ) -> Topology:
     """Remove ``failed_links`` from a topology (bidirectional failure).
 
-    Raises ``ValueError`` if a link does not exist or if removal would
-    disconnect the router graph (no rerouting can save such a fabric).
+    A thin wrapper over :func:`apply_faults` with a link-only
+    :class:`FaultSet`; the topology's class (including
+    :class:`~repro.noc.multichip.MultiChipTopology` with its chip and
+    bridge bookkeeping) is preserved.  Raises ``ValueError`` if a link
+    does not exist or if removal would disconnect the router graph (no
+    rerouting can save such a fabric).
     """
-    g = topology.graph.copy()
-    for u, v in failed_links:
-        if not g.has_edge(u, v):
-            raise ValueError(f"link ({u}, {v}) does not exist")
-        g.remove_edge(u, v)
-    if not nx.is_connected(g):
-        raise ValueError("fault set disconnects the interconnect")
-    return Topology(
-        graph=g,
-        attach_points=list(topology.attach_points),
-        kind=f"{topology.kind}-degraded",
-        positions=dict(topology.positions),
+    return apply_faults(
+        topology,
+        FaultSet(dead_links=frozenset(tuple(link) for link in failed_links)),
     )
 
 
 def survivable_links(topology: Topology) -> List[Tuple[int, int]]:
-    """Links whose individual failure leaves the fabric connected."""
-    bridges = set()
+    """Links whose individual failure leaves the fabric connected.
+
+    On a multi-chip fabric a failed bridge segment takes its whole
+    bridge down, so segments are survivable only when the fabric stays
+    connected without the *entire* relay chain (e.g. a 2x2 chip grid
+    tolerates losing any one of its four bridges; a 2-chip board's only
+    bridge is never offered).
+    """
+    from repro.noc.multichip import MultiChipTopology
+
+    cut_edges = set()
     for u, v in nx.bridges(topology.graph):
-        bridges.add((u, v))
-        bridges.add((v, u))
-    return [
+        cut_edges.add((u, v))
+        cut_edges.add((v, u))
+    if not isinstance(topology, MultiChipTopology):
+        return [(u, v) for u, v in topology.graph.edges if (u, v) not in cut_edges]
+    survivable = [
         (u, v)
         for u, v in topology.graph.edges
-        if (u, v) not in bridges
+        if (u, v) not in cut_edges and (u, v) not in topology.bridge_links
     ]
+    for chain in bridge_chains(topology):
+        chain_segs = {(min(a, b), max(a, b)) for a, b in zip(chain, chain[1:])}
+        g = topology.graph.copy()
+        for u, v in zip(chain, chain[1:]):
+            g.remove_edge(u, v)
+        g.remove_nodes_from(chain[1:-1])
+        if nx.is_connected(g):
+            survivable.extend(
+                (u, v)
+                for u, v in topology.graph.edges
+                if (min(u, v), max(u, v)) in chain_segs
+            )
+    return survivable
 
 
 def inject_random_faults(

@@ -192,7 +192,18 @@ def west_first_routing(topology: Topology) -> WestFirstRouting:
 
 
 def routing_for(topology: Topology) -> RoutingTable:
-    """Pick the natural routing algorithm for a topology family."""
+    """Pick the natural routing algorithm for a topology family.
+
+    Degraded fabrics (kind ``*-degraded``, produced by
+    :func:`repro.noc.faults.apply_faults`) always get shortest-path
+    tables: faults break the grid regularity XY routing relies on,
+    while BFS recomputes deterministic detours around whatever routers
+    and links are masked out.  Both simulation backends consume the
+    resulting table unchanged, so degraded fabrics keep the
+    cross-backend bit-identical contract.
+    """
+    if topology.kind.endswith("-degraded"):
+        return shortest_path_routing(topology)
     if topology.kind == "mesh" and topology.positions:
         return xy_routing(topology)
     return shortest_path_routing(topology)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.partition import is_feasible
-from repro.core.runtime import RuntimeRemapper
+from repro.core.runtime import FaultEvent, RuntimeRemapper
 from repro.snn.graph import SpikeGraph
 
 
@@ -56,10 +56,11 @@ class TestRemapEpoch:
         rm = _remapper(tiny_graph, [0, 1, 0, 1, 0, 1, 0, 1],
                        migration_budget=8)
         epoch = rm.remap_epoch()
-        # A swap's combined gain is recorded on its first move; the
-        # partner move carries 0.  Every recorded gain is non-negative
-        # and they sum to the epoch's total improvement.
-        assert all(m.gain >= 0 for m in epoch.moves)
+        # A swap's gain is split across its two moves: the first carries
+        # its sequential move gain, the second the remainder, so
+        # per-move gains always sum to the epoch's total improvement
+        # (individual halves may be negative when one side only pays
+        # off because of its partner).
         assert any(m.gain > 0 for m in epoch.moves)
         assert epoch.improvement == pytest.approx(
             sum(m.gain for m in epoch.moves)
@@ -128,6 +129,10 @@ class TestEdgeCases:
         assert epoch.n_migrations == 2
         assert epoch.improvement > 0
         assert is_feasible(rm.assignment, 2, 2)
+        # The swap's gain is attributed across both of its moves.
+        assert epoch.improvement == pytest.approx(
+            sum(m.gain for m in epoch.moves)
+        )
 
     def test_epoch_gains_sum_to_fitness_delta(self, tiny_graph):
         """Audit invariant: per-epoch gains add up to the fitness drop."""
@@ -188,6 +193,24 @@ class TestTrafficDrift:
         with pytest.raises(ValueError, match="non-negative"):
             rm.observe_traffic(-tiny_graph.traffic)
 
+    def test_observe_traffic_leaves_caller_graph_untouched(self, tiny_graph):
+        """Observations update the remapper's copy, never the shared graph."""
+        original = tiny_graph.traffic.copy()
+        rm = _remapper(tiny_graph, [0, 0, 0, 0, 1, 1, 1, 1])
+        rm.observe_traffic(np.ones_like(tiny_graph.traffic))
+        assert np.array_equal(tiny_graph.traffic, original)
+        # The remapper itself did pick up the new observations.
+        assert np.array_equal(
+            rm.graph.traffic, np.ones_like(original)
+        )
+
+    def test_construction_does_not_alias_traffic(self, tiny_graph):
+        """The remapper's private copy is taken at construction time."""
+        rm = _remapper(tiny_graph, [0, 0, 0, 0, 1, 1, 1, 1])
+        before = rm.fitness()
+        tiny_graph.traffic[:] = 0.0
+        assert rm.fitness() == before
+
     def test_drift_with_slack_capacity_recovers_optimum(self):
         """With one free slot per cluster, drift is fully repairable."""
         src = [0, 1, 2, 3, 0, 2]
@@ -204,3 +227,81 @@ class TestTrafficDrift:
         # Optimal now: {0, 1, 2} share a cluster (capacity 3), leaving
         # only the light 2<->3 edges (traffic 1 + 1) on the interconnect.
         assert rm.fitness() == 2.0
+
+
+class TestFaultEvents:
+    """Live crossbar faults: the remapper evacuates under its budget."""
+
+    def _three_cluster_remapper(self, tiny_graph, **kwargs):
+        # 8 neurons over 3 clusters of 4: one spare cluster's worth of
+        # slack, so any single crossbar fault is fully absorbable.
+        return RuntimeRemapper(
+            tiny_graph, n_clusters=3, capacity=4,
+            assignment=np.array([0, 0, 0, 0, 1, 1, 1, 1]), **kwargs,
+        )
+
+    def test_fault_evacuates_all_neurons(self, tiny_graph):
+        rm = self._three_cluster_remapper(tiny_graph, migration_budget=4)
+        rm.apply_fault(FaultEvent(crossbar=0, time=3.0))
+        epoch = rm.remap_epoch()
+        assert rm.evacuated(0)
+        assert rm.neurons_on(0) == []
+        assert epoch.n_migrations == 4
+        assert all(m.forced for m in epoch.moves)
+        assert all(m.from_cluster == 0 for m in epoch.moves)
+        assert is_feasible(rm.assignment, 3, 4)
+
+    def test_forced_gains_sum_to_improvement(self, tiny_graph):
+        """The audit invariant holds even with negative forced gains."""
+        rm = self._three_cluster_remapper(tiny_graph, migration_budget=8)
+        rm.mark_crossbar_faulty(0)
+        epoch = rm.remap_epoch()
+        assert epoch.improvement == pytest.approx(
+            sum(m.gain for m in epoch.moves)
+        )
+        assert epoch.fitness_after == pytest.approx(
+            epoch.fitness_before - epoch.improvement
+        )
+
+    def test_budget_limits_evacuation(self, tiny_graph):
+        rm = self._three_cluster_remapper(tiny_graph, migration_budget=2)
+        rm.mark_crossbar_faulty(0)
+        epoch = rm.remap_epoch()
+        assert epoch.n_migrations == 2
+        assert not rm.evacuated(0)
+        assert len(rm.neurons_on(0)) == 2
+        # A second epoch finishes the evacuation.
+        rm.remap_epoch()
+        assert rm.evacuated(0)
+
+    def test_no_moves_back_onto_faulty_cluster(self, tiny_graph):
+        rm = self._three_cluster_remapper(tiny_graph, migration_budget=8)
+        rm.mark_crossbar_faulty(0)
+        for _ in range(4):
+            epoch = rm.remap_epoch()
+            assert all(m.to_cluster != 0 for m in epoch.moves)
+        assert rm.evacuated(0)
+
+    def test_insufficient_healthy_capacity_rejected(self, tiny_graph):
+        rm = _remapper(tiny_graph, [0, 0, 0, 0, 1, 1, 1, 1])
+        with pytest.raises(ValueError, match="healthy"):
+            rm.mark_crossbar_faulty(1)
+        assert rm.faulty_clusters == set()
+
+    def test_out_of_range_crossbar_rejected(self, tiny_graph):
+        rm = self._three_cluster_remapper(tiny_graph)
+        with pytest.raises(ValueError, match="out of range"):
+            rm.apply_fault(FaultEvent(crossbar=3))
+
+    def test_fault_log_records_events(self, tiny_graph):
+        rm = self._three_cluster_remapper(tiny_graph)
+        event = FaultEvent(crossbar=1, time=7.0, description="stuck rows")
+        rm.apply_fault(event)
+        assert rm.fault_log == [event]
+
+    def test_zero_budget_fault_epoch_moves_nothing(self, tiny_graph):
+        rm = self._three_cluster_remapper(tiny_graph, migration_budget=0)
+        rm.mark_crossbar_faulty(0)
+        epoch = rm.remap_epoch()
+        assert epoch.moves == []
+        assert not rm.evacuated(0)

@@ -1,15 +1,29 @@
-"""Tests for link-fault injection and rerouting."""
+"""Tests for fault injection, degraded-fabric rerouting and accounting."""
 
 import pytest
 
+from repro.metrics.report import build_report
+from repro.noc.fastsim import FastInterconnect
 from repro.noc.faults import (
+    FaultSet,
+    apply_faults,
+    bridge_chains,
     degrade_topology,
     inject_random_faults,
     survivable_links,
 )
-from repro.noc.interconnect import Interconnect
+from repro.noc.interconnect import Interconnect, NocConfig
+from repro.noc.multichip import (
+    RELAY_CHIP,
+    MultiChipTopology,
+    chip_breakdown,
+    multichip,
+)
 from repro.noc.packet import Injection
-from repro.noc.topology import mesh, torus, tree
+from repro.noc.parallel import summarize
+from repro.noc.routing import routing_for
+from repro.noc.topology import mesh, mesh_for, torus, tree
+from repro.noc.traffic import synthetic_injections
 
 
 class TestDegradeTopology:
@@ -92,3 +106,283 @@ def routing_for_degraded(topology):
     """Degraded meshes lose grid regularity: force shortest-path routing."""
     from repro.noc.routing import shortest_path_routing
     return shortest_path_routing(topology)
+
+
+class TestFaultSet:
+    def test_links_normalized_undirected(self):
+        fs = FaultSet(dead_links=[(3, 1), (1, 3), (0, 2)])
+        assert fs.dead_links == frozenset({(1, 3), (0, 2)})
+
+    def test_empty_is_falsy(self):
+        assert not FaultSet()
+        assert FaultSet(dead_routers=[5])
+
+    def test_counts_and_describe(self):
+        fs = FaultSet(
+            dead_links=[(0, 1)], dead_routers=[7], faulty_crossbars=[2, 3]
+        )
+        assert fs.n_faults == 4
+        assert "1 dead links" in fs.describe()
+        assert "2 faulty crossbars" in fs.describe()
+
+    def test_nonpositive_bridge_degradation_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FaultSet(degraded_bridges={0: 0})
+
+
+class TestApplyFaultsSingleChip:
+    def test_dead_router_removed_with_links(self):
+        topo = mesh(3)
+        # Router 4 (the center) hosts a crossbar, so drop an attach
+        # point first to free it up.
+        topo.attach_points.remove(4)
+        degraded = apply_faults(topo, FaultSet(dead_routers=[4]))
+        assert 4 not in degraded.graph
+        assert degraded.graph.number_of_edges() == topo.graph.number_of_edges() - 4
+        assert 4 not in degraded.positions
+
+    def test_dead_router_hosting_crossbar_rejected(self):
+        with pytest.raises(ValueError, match="hosts a crossbar"):
+            apply_faults(mesh(3), FaultSet(dead_routers=[4]))
+
+    def test_missing_router_rejected(self):
+        topo = mesh(3)
+        with pytest.raises(ValueError, match="does not exist"):
+            apply_faults(topo, FaultSet(dead_routers=[99]))
+
+    def test_faulty_crossbar_leaves_graph_untouched(self):
+        topo = mesh(3)
+        degraded = apply_faults(topo, FaultSet(faulty_crossbars=[0, 8]))
+        assert degraded.graph.number_of_edges() == topo.graph.number_of_edges()
+        assert degraded.attach_points == topo.attach_points
+
+    def test_faulty_crossbar_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            apply_faults(mesh(3), FaultSet(faulty_crossbars=[9]))
+
+    def test_degraded_bridge_needs_multichip(self):
+        with pytest.raises(ValueError, match="multichip"):
+            apply_faults(mesh(3), FaultSet(degraded_bridges={0: 1}))
+
+    def test_disconnecting_router_rejected(self):
+        topo = tree(4)
+        hub = max(topo.graph.nodes)  # the root switches all traffic
+        with pytest.raises(ValueError, match="disconnects"):
+            apply_faults(topo, FaultSet(dead_routers=[hub]))
+
+    def test_kind_suffix_not_stacked(self):
+        once = degrade_topology(mesh(3), [(0, 1)])
+        twice = degrade_topology(once, [(1, 2)])
+        assert twice.kind == "mesh-degraded"
+
+
+def _board(n_chips=4, bridge_latency=2):
+    """2x2 chip grid of 2x2-mesh chips: the four bridges form a cycle
+    (any one may die) and each chip has intra-mesh link redundancy."""
+    return multichip(
+        16, n_chips=n_chips, chip_kind="mesh", bridge_latency=bridge_latency
+    )
+
+
+class TestMultichipDegradation:
+    """Regression: degradation must not drop the MultiChipTopology class."""
+
+    def test_subclass_and_bookkeeping_survive(self):
+        board = _board()
+        chain = bridge_chains(board)[0]
+        degraded = degrade_topology(board, [tuple(chain[:2])])
+        assert isinstance(degraded, MultiChipTopology)
+        assert degraded.kind == "multichip-degraded"
+        assert degraded.n_chips == board.n_chips
+        assert degraded.chip_of_crossbar == board.chip_of_crossbar
+        assert degraded.bridge_latency == board.bridge_latency
+        # Every surviving router keeps its chip assignment.
+        assert all(n in degraded.chip_of_router for n in degraded.graph.nodes)
+
+    def test_bridge_segment_kills_whole_bridge(self):
+        board = _board(bridge_latency=3)
+        chain = bridge_chains(board)[0]
+        degraded = degrade_topology(board, [(chain[1], chain[2])])
+        assert degraded.n_bridges == board.n_bridges - 1
+        # All relay routers of the dead chain are gone.
+        for relay in chain[1:-1]:
+            assert relay not in degraded.graph
+        # The other bridges are intact.
+        assert len(degraded.bridge_entry_links) == 2 * degraded.n_bridges
+
+    def test_dead_relay_router_kills_whole_bridge(self):
+        board = _board(bridge_latency=3)
+        chain = bridge_chains(board)[0]
+        relay = chain[1]
+        assert board.chip_of_router[relay] == RELAY_CHIP
+        degraded = apply_faults(board, FaultSet(dead_routers=[relay]))
+        assert degraded.n_bridges == board.n_bridges - 1
+        for node in chain[1:-1]:
+            assert node not in degraded.graph
+
+    def test_degraded_bridge_lengthens_crossing(self):
+        board = multichip(8, n_chips=2, chip_kind="mesh", bridge_latency=2)
+        chain = bridge_chains(board)[0]
+        slow = apply_faults(board, FaultSet(degraded_bridges={0: 3}))
+        assert isinstance(slow, MultiChipTopology)
+        assert slow.n_bridges == 1
+        routing = routing_for(slow)
+        gateways = (chain[0], chain[-1])
+        assert routing.distance(*gateways) == board.bridge_latency + 3
+        # Original routers keep their ids; only fresh relays are added.
+        assert set(board.graph.nodes) <= set(slow.graph.nodes)
+
+    def test_degrading_dead_bridge_rejected(self):
+        board = _board()
+        chain = bridge_chains(board)[0]
+        faults = FaultSet(
+            dead_links=[tuple(chain[:2])], degraded_bridges={0: 1}
+        )
+        with pytest.raises(ValueError, match="dead"):
+            apply_faults(board, faults)
+
+    def test_chip_breakdown_survives_degradation(self):
+        """chip_breakdown / bridge accounting still work after faults."""
+        board = _board(bridge_latency=2)
+        chain = bridge_chains(board)[0]
+        degraded = degrade_topology(board, [tuple(chain[:2])])
+        schedule = synthetic_injections(
+            [0.4] * degraded.n_attach_points, degraded, 60, fanout=3, seed=4
+        )
+        stats = Interconnect(degraded).simulate(schedule.injections)
+        assert stats.undelivered_count == 0
+        breakdown = chip_breakdown(stats, degraded)
+        assert breakdown.n_chips == 4
+        assert breakdown.inter_chip_deliveries > 0
+        # Relay chains make every crossing cost bridge_latency hops.
+        assert breakdown.inter_chip_hops == (
+            breakdown.bridge_crossings * degraded.bridge_latency
+        )
+        summary = summarize(stats, degraded)
+        assert summary.inter_chip_hops == breakdown.inter_chip_hops
+        assert summary.bridge_crossings == breakdown.bridge_crossings
+
+    def test_report_keeps_chip_rows_on_degraded_fabric(self):
+        """build_report's isinstance check must see degraded multichip."""
+        from repro.core.mapper import map_snn
+        from repro.hardware.presets import custom
+        from repro.noc.traffic import build_injections
+        from repro.apps import build_application
+
+        graph = build_application("hello_world", seed=1)
+        arch = custom(
+            8,
+            max(16, -(-graph.n_neurons // 6)),
+            interconnect="mesh",
+            name="board",
+            n_chips=4,
+            bridge_latency=2,
+        )
+        board = arch.build_topology()
+        chain = bridge_chains(board)[0]
+        degraded = degrade_topology(board, [tuple(chain[:2])])
+        mapping = map_snn(graph, arch, method="pacman")
+        schedule = build_injections(
+            graph, mapping.assignment, degraded,
+            cycles_per_ms=arch.cycles_per_ms,
+        )
+        stats = Interconnect(degraded).simulate(schedule.injections)
+        report = build_report("hw", mapping, stats, arch, degraded)
+        assert report.n_chips == 4
+        if report.bridge_crossings:
+            assert report.inter_chip_hops == (
+                report.bridge_crossings * degraded.bridge_latency
+            )
+            # The bridge energy term is charged per crossing.
+            assert report.global_energy_pj == pytest.approx(
+                arch.energy.global_energy_pj(stats)
+                + report.bridge_crossings * arch.energy.e_bridge_pj
+            )
+
+    def test_survivable_links_exclude_bridge_cut_sets(self):
+        """A 2-chip board's only bridge must never be offered as a fault."""
+        board = multichip(8, n_chips=2, chip_kind="mesh", bridge_latency=2)
+        offered = set(survivable_links(board))
+        assert offered  # intra-chip mesh redundancy exists
+        assert not (offered & set(board.bridge_links))
+
+    def test_random_faults_keep_subclass(self):
+        board = _board()
+        degraded, chosen = inject_random_faults(board, 2, seed=11)
+        assert isinstance(degraded, MultiChipTopology)
+        assert len(chosen) == 2
+
+
+def _record_tuples(stats):
+    return [
+        (r.uid, r.src_neuron, r.src_node, r.dst_node, r.injected_cycle,
+         r.delivered_cycle, r.hops)
+        for r in stats.deliveries
+    ]
+
+
+class TestCrossBackendDegraded:
+    """Degraded fabrics keep the bit-identical backend contract."""
+
+    def _topologies(self):
+        single = mesh_for(9)
+        single_deg, _ = inject_random_faults(single, 2, seed=1)
+        board = _board(bridge_latency=2)
+        chain = bridge_chains(board)[0]
+        board_deg = degrade_topology(board, [tuple(chain[:2])])
+        return {
+            "single-healthy": single,
+            "single-degraded": single_deg,
+            "multichip-healthy": board,
+            "multichip-degraded": board_deg,
+        }
+
+    @pytest.mark.parametrize(
+        "key",
+        [
+            "single-healthy",
+            "single-degraded",
+            "multichip-healthy",
+            "multichip-degraded",
+        ],
+    )
+    def test_matrix_bit_identical(self, key):
+        topo = self._topologies()[key]
+        schedule = synthetic_injections(
+            [0.4] * topo.n_attach_points, topo, 100, fanout=3, seed=9
+        )
+        ref = Interconnect(topo).simulate(schedule.injections)
+        fast = FastInterconnect(
+            topo, config=NocConfig(backend="fast")
+        ).simulate(schedule.injections)
+        assert _record_tuples(ref) == _record_tuples(fast)
+        assert ref.link_loads == fast.link_loads
+        assert summarize(ref, topo) == summarize(fast, topo)
+
+    def test_kernel_and_python_engines_agree_on_degraded(self):
+        """The compiled kernel and the pure-Python fallback both detour."""
+        topo = self._topologies()["multichip-degraded"]
+        schedule = synthetic_injections(
+            [0.4] * topo.n_attach_points, topo, 80, fanout=2, seed=5
+        )
+        ref = Interconnect(topo).simulate(schedule.injections)
+        fast = FastInterconnect(topo, config=NocConfig(backend="fast"))
+        if fast._ck is not None:
+            assert _record_tuples(ref) == _record_tuples(
+                fast.simulate(schedule.injections)
+            )
+        fast._ck = None  # force the pure-Python engine
+        assert _record_tuples(ref) == _record_tuples(
+            fast.simulate(schedule.injections)
+        )
+
+    def test_default_routing_detours_automatically(self):
+        """No caller-side routing override is needed for degraded kinds."""
+        topo, _ = inject_random_faults(mesh(3), 2, seed=1)
+        injections = [
+            Injection(cycle=c, src_node=0, dst_nodes=(8,), src_neuron=0,
+                      uid=c)
+            for c in range(10)
+        ]
+        stats = Interconnect(topo).simulate(injections)
+        assert stats.undelivered_count == 0
