@@ -73,6 +73,18 @@ class InterconnectFitness:
         if the pool cannot start (sandboxed CI), scoring falls back to
         serial with a warning.  Call :meth:`close` (or use the instance
         as a context manager) to release the pool.
+    cache:
+        An :class:`~repro.framework.artifacts.ArtifactCache` for derived
+        artifacts (the crossbar hop matrix, the default routing table of
+        the ``noc_in_loop`` engine).  ``None`` uses the process-wide
+        default cache, so content-identical (topology, routing) pairs
+        share one hop matrix across fitness instances and sweep points.
+    coalescer:
+        Serving-layer hook: when set, ``noc_in_loop`` swarm batches are
+        routed through
+        :meth:`~repro.framework.service.SwarmCoalescer.score`, which
+        merges concurrently scoring requests on the same fabric into one
+        shared build/simulate batch (bit-identical per row).
     """
 
     def __init__(
@@ -87,6 +99,8 @@ class InterconnectFitness:
         noc_config=None,
         cycles_per_ms: float = 10.0,
         workers=1,
+        cache=None,
+        coalescer=None,
     ) -> None:
         self.graph = graph
         self.matrix = TrafficMatrix(graph)
@@ -107,7 +121,8 @@ class InterconnectFitness:
         self.noc_in_loop = noc_in_loop
         self.noc_metric = noc_metric
         self.cycles_per_ms = cycles_per_ms
-        self._hop_matrix: Optional[np.ndarray] = None
+        self._cache = cache
+        self._coalescer = coalescer
         self._noc = None
         self._parallel = None
         if noc_in_loop:
@@ -119,6 +134,12 @@ class InterconnectFitness:
 
             base = noc_config if noc_config is not None else NocConfig()
             cfg = dataclasses.replace(base, backend="fast")
+            # With an explicit artifact cache the routing table is shared
+            # across content-identical fabrics instead of re-derived per
+            # engine; the table is read-only after construction, so the
+            # engine is identical either way.
+            if routing is None and cache is not None:
+                routing = cache.routing(topology)
             self._noc = FastInterconnect(topology, routing, cfg)
             self.workers = resolve_workers(workers)
         else:
@@ -175,10 +196,18 @@ class InterconnectFitness:
         Sized from the topology's attach-point count — never from an
         assignment's maximum cluster id — so assignments that leave
         trailing crossbars empty index the same matrix as full ones.
+
+        Routed through the content-addressed artifact cache (the given
+        one, or the process default): sweeps that rebuild an identical
+        (topology, routing) pair per point share one matrix instead of
+        re-deriving it per fitness instance.
         """
-        if self._hop_matrix is None:
-            self._hop_matrix = self.topology.crossbar_hop_matrix(self.routing)
-        return self._hop_matrix
+        cache = self._cache
+        if cache is None:
+            from repro.framework.artifacts import default_cache
+
+            cache = self._cache = default_cache()
+        return cache.hop_matrix(self.topology, self.routing)
 
     def _check_clusters(self, a: np.ndarray) -> None:
         c = self.topology.n_attach_points
@@ -246,6 +275,12 @@ class InterconnectFitness:
         from repro.noc.traffic import build_injections_batch
 
         self._check_clusters(assignments)
+        if self._coalescer is not None:
+            # Serving layer: merge this batch with other requests scoring
+            # on the same fabric right now.  Each row is built and
+            # simulated exactly as below, so the scores are bit-identical
+            # to the solo path.
+            return self._coalescer.score(self, assignments)
         # One columnar batch: spike events are computed once and each
         # particle only re-derives its destination sets; the schedules
         # flow to the simulator (and across worker processes) as array

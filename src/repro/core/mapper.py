@@ -86,6 +86,9 @@ def map_snn(
     objective: str = "packets",
     workers=1,
     noc_config=None,
+    cache=None,
+    coalescer=None,
+    warm_seeds=None,
     **kwargs,
 ) -> MappingResult:
     """Partition ``graph`` onto ``architecture`` with the chosen method.
@@ -124,6 +127,22 @@ def map_snn(
         (backend forced to "fast").  Pass the same config the final
         mapping will be measured with, so the swarm optimizes the fabric
         it is judged on; ``run_pipeline`` forwards its own.
+    cache:
+        An :class:`~repro.framework.artifacts.ArtifactCache`.  Shares
+        the topology / routing / hop-matrix artifacts across calls, and
+        memoizes the full :class:`MappingResult` for deterministic
+        requests (seeded, or a deterministic method, and no extra
+        ``kwargs``) — a repeat request returns the cached result, which
+        is bit-identical to recomputing it.
+    coalescer:
+        Serving-layer :class:`~repro.framework.service.SwarmCoalescer`;
+        forwarded to the ``"noc"`` objective's fitness so concurrent
+        requests on the same fabric share build/simulate batches.
+    warm_seeds:
+        Extra (K, N) assignments stacked into the PSO warm-start pool
+        (e.g. the cache's best recorded swarm state for this problem);
+        seeds are evaluated exactly, so the swarm starts no worse than
+        the best seed.  PSO only.
     kwargs:
         Forwarded to the underlying baseline (e.g. annealing config).
     """
@@ -144,21 +163,59 @@ def map_snn(
             "objective='noc' is only supported by method='pso' "
             f"(got method={method!r})"
         )
+
+    # Full-result memoization: only for calls that are deterministic
+    # functions of the token (seeded, or a seed-free deterministic
+    # method) with no free-form kwargs, so a cache hit is bit-identical
+    # to recomputing.  Worker counts and the coalescer are excluded from
+    # the token — both paths are bit-identical by contract.
+    memo_key = None
+    if cache is not None and not kwargs:
+        deterministic = seed is not None or method in ("pacman", "greedy")
+        if deterministic:
+            from repro.framework.artifacts import mapping_token
+
+            memo_key = cache.key(
+                "mapping-result",
+                mapping_token(
+                    graph,
+                    architecture,
+                    method=method,
+                    seed=seed,
+                    pso_config=pso_config,
+                    warm_start=warm_start,
+                    placement=placement,
+                    objective=objective,
+                    noc_config=noc_config,
+                    warm_seeds=warm_seeds,
+                ),
+            )
+            found, cached = cache.get(memo_key)
+            if found:
+                return _copy_mapping_result(cached)
+
     start = time.perf_counter()
     extras: Dict[str, object] = {}
     if method == "pso":
         if objective == "noc":
+            topology = (
+                cache.topology(architecture)
+                if cache is not None
+                else architecture.build_topology()
+            )
             fitness = InterconnectFitness(
                 graph,
                 noc_in_loop=True,
-                topology=architecture.build_topology(),
+                topology=topology,
                 cycles_per_ms=architecture.cycles_per_ms,
                 noc_config=noc_config,
                 workers=workers,
+                cache=cache,
+                coalescer=coalescer,
             )
         else:
             fitness = InterconnectFitness(
-                graph, count_packets=(objective == "packets")
+                graph, count_packets=(objective == "packets"), cache=cache
             )
         move_cost = graph.neuron_out_traffic()
         in_traffic = np.bincount(
@@ -181,6 +238,9 @@ def map_snn(
             except ValueError:
                 pass  # greedy can be skipped if packing is degenerate
             initial = np.stack(seeds)
+        if warm_seeds is not None:
+            warm = np.atleast_2d(np.asarray(warm_seeds, dtype=np.int64))
+            initial = warm if initial is None else np.vstack([initial, warm])
         swarm_start = time.perf_counter()
         try:
             result = pso.optimize(initial_assignments=initial)
@@ -220,7 +280,11 @@ def map_snn(
     # potentially undo) the simulated optimum; skip it there.
     if placement and c > 1 and not (method == "pso" and objective == "noc"):
         matrix = cluster_traffic(graph, partition.assignment, c)
-        topology = architecture.build_topology()
+        topology = (
+            cache.topology(architecture)
+            if cache is not None
+            else architecture.build_topology()
+        )
         perm = place_clusters(matrix, topology)
         partition = Partition(
             assignment=apply_placement(partition.assignment, perm),
@@ -237,7 +301,7 @@ def map_snn(
         partition.assignment
     )
     extras["objective"] = objective
-    return MappingResult(
+    mapping = MappingResult(
         method=method,
         partition=partition,
         fitness=global_spikes,
@@ -247,6 +311,36 @@ def map_snn(
         global_synapses=global_syn,
         wall_time_s=elapsed,
         extras=extras,
+    )
+    if cache is not None and method == "pso":
+        # Remember the converged swarm optimum so later requests can
+        # opt in to warm-start from it (the objective value is invariant
+        # under the placement pass's cluster relabeling).
+        cache.record_warm_state(
+            graph, architecture, objective,
+            partition.assignment, result.best_fitness,
+        )
+    if memo_key is not None:
+        cache.put(memo_key, _copy_mapping_result(mapping), persist=True)
+    return mapping
+
+
+def _copy_mapping_result(mapping: MappingResult) -> MappingResult:
+    """Shallow-copy a cached result so callers cannot mutate the cache.
+
+    The assignment array and extras dict are the mutable surfaces a
+    caller touches; everything else is value-like.
+    """
+    import dataclasses
+
+    return dataclasses.replace(
+        mapping,
+        partition=Partition(
+            assignment=mapping.partition.assignment.copy(),
+            n_clusters=mapping.partition.n_clusters,
+            capacity=mapping.partition.capacity,
+        ),
+        extras=dict(mapping.extras),
     )
 
 
@@ -259,6 +353,7 @@ def compare_methods(
     objective: str = "packets",
     workers=1,
     noc_config=None,
+    cache=None,
 ) -> Dict[str, MappingResult]:
     """Run several partitioners on the same problem (Fig. 5 style).
 
@@ -277,6 +372,7 @@ def compare_methods(
         m: map_snn(
             graph, architecture, method=m, seed=seed, pso_config=pso_config,
             objective=objective, workers=workers, noc_config=noc_config,
+            cache=cache,
         )
         for m in methods
     }

@@ -6,20 +6,33 @@ partitioner → NoC simulation → metric report.
 - :func:`run_pipeline` — one (application, architecture, method) run;
 - :mod:`repro.framework.exploration` — the paper's design-space studies
   (Fig. 6 crossbar-size sweep, Fig. 7 swarm-size sweep);
+- :mod:`repro.framework.service` — the serving layer: a coalescing
+  :class:`MappingService` job queue over a content-addressed
+  :class:`ArtifactCache`, plus resumable sweep campaigns;
 - :mod:`repro.framework.experiment` — result records for EXPERIMENTS.md.
 """
 
+from repro.framework.artifacts import ArtifactCache
 from repro.framework.pipeline import PipelineResult, run_pipeline
 from repro.framework.experiment import ExperimentRecord
 from repro.framework.exploration import (
     ArchitecturePoint,
     ChipPoint,
     SwarmPoint,
+    architecture_point,
+    chip_point,
     estimate_interconnect_energy_pj,
     estimate_synapse_energy_pj,
     explore_architecture,
     explore_chips,
     explore_swarm_size,
+)
+from repro.framework.service import (
+    MapRequest,
+    MappingService,
+    SwarmCoalescer,
+    SweepRun,
+    run_sweep_resumable,
 )
 from repro.framework.replay import (
     delivered_spike_trains,
@@ -32,6 +45,14 @@ __all__ = [
     "run_pipeline",
     "PipelineResult",
     "ExperimentRecord",
+    "ArtifactCache",
+    "MapRequest",
+    "MappingService",
+    "SwarmCoalescer",
+    "SweepRun",
+    "run_sweep_resumable",
+    "architecture_point",
+    "chip_point",
     "explore_architecture",
     "explore_chips",
     "explore_swarm_size",

@@ -1,0 +1,524 @@
+"""Content-addressed artifact cache for the mapping service layer.
+
+Every entry point of the framework (``map_snn``, ``run_pipeline``, the
+``explore_*`` sweeps) derives the same expensive artifacts over and over:
+the topology instance, its routing table, the crossbar hop matrix,
+columnar injection schedules, simulated NoC statistics.  This module
+gives them one shared, *content-addressed* home:
+
+- **stable keys** — :func:`stable_hash` folds a token tree of primitives
+  and numpy arrays into a sha256 digest.  No ``hash()`` anywhere, so the
+  same architecture hashes identically across processes and Python
+  releases regardless of ``PYTHONHASHSEED``.
+- **token helpers** — :func:`architecture_token`,
+  :func:`topology_token`, :func:`graph_token`, :func:`mapping_token` and
+  :func:`pipeline_token` build the canonical token trees; the companion
+  ``*_key`` helpers hash them.  Tokens cover everything that changes the
+  derived artifact (topology kind and parameters, routing algorithm,
+  fault set, seeds, optimizer configuration) and nothing that does not
+  (worker counts — the parallel paths are bit-identical by contract).
+- **:class:`ArtifactCache`** — a thread-safe memo store with an
+  optional on-disk layer (``cache_dir``).  Disk entries are atomic
+  pickles named by their key; corrupted or truncated entries are
+  discarded and rebuilt, never crashed on.  Cached and freshly built
+  artifacts are interchangeable by construction: a cache hit returns
+  exactly what the builder would have produced for the same content.
+
+The cache is deliberately import-light (no ``repro.core`` /
+``repro.framework.pipeline`` imports at module scope) so the fitness
+layer can reach it lazily without cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from dataclasses import fields, is_dataclass
+from typing import Any, Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+#: Bump when token layouts change incompatibly: old on-disk entries then
+#: miss instead of deserializing into the wrong shape.
+CACHE_SCHEMA = 1
+
+
+# -- stable hashing ----------------------------------------------------------
+
+
+def _fold(h, obj: Any) -> None:
+    """Fold one token-tree node into the running digest (type-tagged)."""
+    if obj is None:
+        h.update(b"N;")
+    elif isinstance(obj, bool):
+        h.update(b"B1;" if obj else b"B0;")
+    elif isinstance(obj, int):
+        h.update(b"I" + str(obj).encode() + b";")
+    elif isinstance(obj, float):
+        h.update(b"F" + repr(obj).encode() + b";")
+    elif isinstance(obj, str):
+        raw = obj.encode()
+        h.update(b"S" + str(len(raw)).encode() + b":" + raw + b";")
+    elif isinstance(obj, bytes):
+        h.update(b"Y" + str(len(obj)).encode() + b":" + obj + b";")
+    elif isinstance(obj, np.ndarray):
+        a = np.ascontiguousarray(obj)
+        head = f"A{a.dtype.str}{a.shape}".encode()
+        h.update(head + a.tobytes() + b";")
+    elif isinstance(obj, np.generic):
+        _fold(h, obj.item())
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"L" + str(len(obj)).encode() + b"[")
+        for item in obj:
+            _fold(h, item)
+        h.update(b"];")
+    elif isinstance(obj, (set, frozenset)):
+        _fold(h, sorted(obj, key=repr))
+    elif isinstance(obj, Mapping):
+        _fold(h, sorted(obj.items(), key=lambda kv: repr(kv[0])))
+    else:
+        raise TypeError(
+            f"unhashable token node of type {type(obj).__name__}: {obj!r}"
+        )
+
+
+def stable_hash(token: Any) -> str:
+    """sha256 hex digest of a token tree, stable across processes.
+
+    Accepts primitives, numpy arrays/scalars, lists/tuples, sets and
+    mappings; anything else raises ``TypeError`` (silent repr-based
+    fallbacks could collide across objects, which a content-addressed
+    store must never do).
+    """
+    h = hashlib.sha256()
+    _fold(h, (CACHE_SCHEMA, token))
+    return h.hexdigest()
+
+
+def config_token(config: Any) -> Any:
+    """Canonical token of a config dataclass (``None`` passes through).
+
+    Field values are folded by ``repr``, which round-trips floats
+    exactly and renders dtype-like fields stably.
+    """
+    if config is None:
+        return None
+    if not is_dataclass(config):
+        raise TypeError(f"expected a config dataclass, got {config!r}")
+    return (
+        type(config).__name__,
+        tuple((f.name, repr(getattr(config, f.name))) for f in fields(config)),
+    )
+
+
+# -- token builders ----------------------------------------------------------
+
+
+def topology_token(topology) -> Any:
+    """Canonical structure token of a topology (instance-cached).
+
+    Delegates to :meth:`~repro.noc.topology.Topology.content_signature`,
+    which covers the router graph, attach points, kind, grid positions
+    and (for multi-chip fabrics) the chip/bridge bookkeeping.
+    """
+    return topology.content_signature()
+
+
+def architecture_token(architecture, include_name: bool = False) -> Any:
+    """Canonical token of an architecture's *structural* identity.
+
+    The report label (``name``) is excluded by default so platforms that
+    differ only in how they are labelled share topology, routing and
+    hop-matrix artifacts; result-level memo keys pass
+    ``include_name=True``.
+    """
+    token = (
+        architecture.n_crossbars,
+        architecture.neurons_per_crossbar,
+        architecture.interconnect,
+        architecture.cycles_per_ms,
+        architecture.n_chips,
+        architecture.bridge_latency,
+        config_token(architecture.energy),
+    )
+    if include_name:
+        token = token + (architecture.name,)
+    return token
+
+
+def graph_token(graph) -> Any:
+    """Canonical content token of a spike graph (instance-cached)."""
+    cached = getattr(graph, "_content_token", None)
+    if cached is None:
+        counts = np.asarray([len(t) for t in graph.spike_times], dtype=np.int64)
+        if int(counts.sum()):
+            times = np.concatenate(
+                [np.asarray(t, dtype=np.float64) for t in graph.spike_times]
+            )
+        else:
+            times = np.empty(0, dtype=np.float64)
+        cached = (
+            graph.name,
+            graph.n_neurons,
+            graph.src,
+            graph.dst,
+            graph.traffic,
+            graph.layers,
+            counts,
+            times,
+        )
+        graph._content_token = cached
+    return cached
+
+
+def fault_token(faults: int, fault_seed) -> Any:
+    """Token of a random-fault draw spec as ``run_pipeline`` takes it."""
+    return ("faults", int(faults), fault_seed)
+
+
+def mapping_token(
+    graph,
+    architecture,
+    *,
+    method: str,
+    seed,
+    pso_config=None,
+    warm_start: bool = True,
+    placement: bool = True,
+    objective: str = "packets",
+    noc_config=None,
+    warm_seeds=None,
+) -> Any:
+    """Memo token of one ``map_snn`` call (worker counts excluded)."""
+    return (
+        "mapping",
+        graph_token(graph),
+        architecture_token(architecture, include_name=True),
+        method,
+        seed,
+        config_token(pso_config),
+        warm_start,
+        placement,
+        objective,
+        config_token(noc_config),
+        None if warm_seeds is None else np.asarray(warm_seeds, dtype=np.int64),
+    )
+
+
+def pipeline_token(
+    graph,
+    architecture,
+    *,
+    method: str,
+    seed,
+    pso_config=None,
+    noc_config=None,
+    simulate_noc: bool = True,
+    objective: str = "packets",
+    faults: int = 0,
+    fault_seed=None,
+    warm_seeds=None,
+) -> Any:
+    """Memo token of one ``run_pipeline`` call (worker counts excluded)."""
+    return (
+        "pipeline",
+        graph_token(graph),
+        architecture_token(architecture, include_name=True),
+        method,
+        seed,
+        config_token(pso_config),
+        config_token(noc_config),
+        simulate_noc,
+        objective,
+        fault_token(faults, fault_seed),
+        None if warm_seeds is None else np.asarray(warm_seeds, dtype=np.int64),
+    )
+
+
+def architecture_key(architecture) -> str:
+    """Stable content key of an architecture (structural identity)."""
+    return stable_hash(("architecture", architecture_token(architecture)))
+
+
+def hop_matrix_key(topology, routing=None) -> str:
+    """Stable content key of a crossbar hop matrix artifact."""
+    name = routing.name if routing is not None else _default_routing_name(topology)
+    return stable_hash(("hop-matrix", topology_token(topology), name))
+
+
+def _default_routing_name(topology) -> str:
+    """Routing algorithm name :func:`routing_for` would pick (no build)."""
+    if topology.kind.endswith("-degraded"):
+        return f"shortest-path/{topology.kind}"
+    if topology.kind == "mesh" and topology.positions:
+        return "xy/mesh"
+    return f"shortest-path/{topology.kind}"
+
+
+# -- the cache ---------------------------------------------------------------
+
+
+class ArtifactCache:
+    """Thread-safe content-addressed memo store with an optional disk layer.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for persistent entries (created on demand).  ``None``
+        keeps the cache purely in-memory.  Only artifacts whose builders
+        opt in (``persist=True``) are written to disk — cheap-to-pickle,
+        expensive-to-derive things like routing tables, hop matrices and
+        mapping results; simulation statistics stay in-memory.
+
+    Notes
+    -----
+    Entries are keyed by :func:`stable_hash` over canonical token trees,
+    so two content-identical architectures built in different processes
+    address the same entry.  Corrupted disk entries (truncated writes,
+    foreign junk) are discarded and rebuilt — the cache must never turn
+    a cache *problem* into a serving failure.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self.cache_dir = None if cache_dir is None else str(cache_dir)
+        self._mem: Dict[str, Any] = {}
+        self._lock = threading.RLock()
+        self.stats: Dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "disk_hits": 0,
+            "corrupt_discarded": 0,
+            "stores": 0,
+        }
+
+    # -- generic store -------------------------------------------------------
+
+    def key(self, kind: str, token: Any) -> str:
+        return stable_hash((kind, token))
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.pkl")
+
+    def _load_disk(self, key: str) -> Any:
+        """Disk lookup: ``(found, value)``; corrupt entries are discarded."""
+        path = self._path(key)
+        if not os.path.exists(path):
+            return False, None
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            if not (isinstance(payload, tuple) and len(payload) == 2):
+                raise ValueError("malformed cache payload")
+            stored_key, value = payload
+            if stored_key != key:
+                raise ValueError("cache entry key mismatch")
+            return True, value
+        except Exception:
+            with self._lock:
+                self.stats["corrupt_discarded"] += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return False, None
+
+    def _store_disk(self, key: str, value: Any) -> None:
+        """Atomic pickle write (tmp file + rename); failures are silent."""
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.cache_dir, suffix=".tmp", prefix=key[:16]
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump((key, value), fh)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            pass  # a cache that cannot persist still serves from memory
+
+    def get(self, key: str):
+        """``(found, value)`` for a key, consulting memory then disk."""
+        with self._lock:
+            if key in self._mem:
+                self.stats["hits"] += 1
+                return True, self._mem[key]
+        if self.cache_dir is not None:
+            found, value = self._load_disk(key)
+            if found:
+                with self._lock:
+                    self._mem[key] = value
+                    self.stats["hits"] += 1
+                    self.stats["disk_hits"] += 1
+                return True, value
+        with self._lock:
+            self.stats["misses"] += 1
+        return False, None
+
+    def put(self, key: str, value: Any, persist: bool = False) -> None:
+        with self._lock:
+            self._mem[key] = value
+            self.stats["stores"] += 1
+        if persist and self.cache_dir is not None:
+            self._store_disk(key, value)
+
+    def get_or_build(
+        self,
+        kind: str,
+        token: Any,
+        build: Callable[[], Any],
+        persist: bool = False,
+    ) -> Any:
+        """Memoized ``build()`` keyed by ``(kind, token)`` content.
+
+        The builder runs outside the cache lock (builders can be slow
+        and may themselves consult the cache); a racing duplicate build
+        produces an identical value, so last-write-wins is harmless.
+        """
+        key = self.key(kind, token)
+        found, value = self.get(key)
+        if found:
+            return value
+        value = build()
+        self.put(key, value, persist=persist)
+        return value
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (disk entries survive)."""
+        with self._lock:
+            self._mem.clear()
+
+    # -- typed artifact helpers ---------------------------------------------
+
+    def topology(self, architecture):
+        """Shared topology instance for an architecture's structure."""
+        return self.get_or_build(
+            "topology",
+            architecture_token(architecture),
+            architecture.build_topology,
+            persist=True,
+        )
+
+    def routing(self, topology):
+        """Shared default routing table for a topology's content."""
+        from repro.noc.routing import routing_for
+
+        return self.get_or_build(
+            "routing",
+            topology_token(topology),
+            lambda: routing_for(topology),
+            persist=True,
+        )
+
+    def hop_matrix(self, topology, routing=None):
+        """Crossbar hop matrix shared across content-identical fabrics.
+
+        Unlike :meth:`~repro.noc.topology.Topology.crossbar_hop_matrix`
+        (which caches per *instance*), this keys on topology content +
+        routing algorithm, so every sweep point that rebuilds the same
+        fabric reuses one matrix.
+        """
+        key = hop_matrix_key(topology, routing)
+        found, value = self.get(key)
+        if found:
+            return value
+        value = topology.crossbar_hop_matrix(routing)
+        self.put(key, value, persist=True)
+        return value
+
+    def schedule(self, graph, assignment, topology, cycles_per_ms: float):
+        """Memoized columnar injection schedule for one mapped graph."""
+        from repro.noc.traffic import build_injections
+
+        assignment = np.asarray(assignment, dtype=np.int64)
+        return self.get_or_build(
+            "schedule",
+            (
+                graph_token(graph),
+                assignment,
+                topology_token(topology),
+                cycles_per_ms,
+            ),
+            lambda: build_injections(
+                graph, assignment, topology, cycles_per_ms=cycles_per_ms
+            ),
+            persist=True,
+        )
+
+    def degraded_topology(self, topology, faults: int, fault_seed):
+        """Memoized random-fault draw (seeded draws only are cacheable)."""
+        from repro.noc.faults import inject_random_faults
+
+        if fault_seed is None:
+            return inject_random_faults(topology, faults, seed=fault_seed)
+        return self.get_or_build(
+            "degraded-topology",
+            (topology_token(topology), fault_token(faults, fault_seed)),
+            lambda: inject_random_faults(topology, faults, seed=fault_seed),
+            persist=True,
+        )
+
+    # -- warm swarm states ---------------------------------------------------
+
+    def warm_token(self, graph, architecture, objective: str) -> Any:
+        """Identity of a warm-start pool: problem + objective, not seed."""
+        return (
+            graph_token(graph),
+            architecture_token(architecture),
+            objective,
+        )
+
+    def record_warm_state(
+        self, graph, architecture, objective: str, assignment, fitness: float
+    ) -> None:
+        """Remember the best converged swarm assignment for this problem.
+
+        Later requests can opt in (``MapRequest(warm=True)``) to seed
+        their swarm from it; warm-start evaluates seeds exactly, so a
+        warmed swarm can never end worse than the recorded state.
+        """
+        key = self.key("warm-state", self.warm_token(graph, architecture, objective))
+        found, value = self.get(key)
+        if found and value[1] <= fitness:
+            return
+        self.put(
+            key,
+            (np.asarray(assignment, dtype=np.int64).copy(), float(fitness)),
+            persist=True,
+        )
+
+    def warm_assignment(self, graph, architecture, objective: str):
+        """Best recorded swarm assignment for this problem, or ``None``."""
+        found, value = self.get(
+            self.key("warm-state", self.warm_token(graph, architecture, objective))
+        )
+        return value[0] if found else None
+
+
+# -- process-default cache ---------------------------------------------------
+
+_DEFAULT_CACHE: Optional[ArtifactCache] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_cache() -> ArtifactCache:
+    """The process-wide in-memory cache (created on first use).
+
+    Used by :class:`~repro.core.fitness.InterconnectFitness` when no
+    explicit cache is given, so hop matrices are derived once per
+    (topology content, routing) pair per process instead of once per
+    fitness instance.
+    """
+    global _DEFAULT_CACHE
+    with _DEFAULT_LOCK:
+        if _DEFAULT_CACHE is None:
+            _DEFAULT_CACHE = ArtifactCache()
+        return _DEFAULT_CACHE

@@ -15,6 +15,7 @@ user can reproduce any paper row from the shell.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -22,7 +23,12 @@ from repro.apps import APPLICATIONS, build_application
 from repro.apps.registry import ABBREVIATIONS
 from repro.core import PSOConfig
 from repro.core.mapper import METHODS, compare_methods
-from repro.framework.exploration import explore_architecture, explore_chips
+from repro.framework.exploration import (
+    architecture_point,
+    chip_point,
+    explore_architecture,
+    explore_chips,
+)
 from repro.framework.pipeline import run_pipeline
 from repro.hardware.config import load_architecture
 from repro.noc.interconnect import NocConfig
@@ -114,6 +120,24 @@ def _add_pso_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed artifact cache directory: repeat runs "
+             "reuse routing tables, hop matrices, schedules and whole "
+             "deterministic results (bit-identical to recomputing)",
+    )
+
+
+def _build_cache(args):
+    """ArtifactCache from --cache-dir, or None when not requested."""
+    if getattr(args, "cache_dir", None) is None:
+        return None
+    from repro.framework.artifacts import ArtifactCache
+
+    return ArtifactCache(args.cache_dir)
+
+
 def _build_graph(args):
     kwargs = {}
     if args.duration is not None:
@@ -188,6 +212,7 @@ def _cmd_map(args) -> int:
         workers=args.workers,
         faults=args.faults,
         fault_seed=args.fault_seed,
+        cache=_build_cache(args),
     )
     print(result.mapping.describe())
     if result.failed_links:
@@ -223,6 +248,7 @@ def _cmd_compare(args) -> int:
                              n_iterations=args.iterations),
         objective=args.objective,
         workers=args.workers,
+        cache=_build_cache(args),
     )
     rows = [
         (m, f"{r.fitness:.0f}", f"{r.extras.get('packets', 0):.0f}",
@@ -237,8 +263,27 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _resumable_sweep(args, items, point_fn, campaign: str, fingerprint):
+    """Run a sweep through the checkpointed runner (--resume path)."""
+    from repro.framework.service import run_sweep_resumable
+
+    state_dir = os.path.join(args.cache_dir, "sweeps")
+    run = run_sweep_resumable(
+        items, point_fn, state_dir, campaign=campaign, fingerprint=fingerprint
+    )
+    if run.skipped:
+        print(
+            f"resumed campaign {campaign!r}: {len(run.skipped)} points "
+            f"restored, {len(run.computed)} computed"
+        )
+    return run.results
+
+
 def _cmd_explore(args) -> int:
     if _reject_non_pso_noc(args.objective, [args.method]):
+        return 2
+    if args.resume and args.cache_dir is None:
+        print("error: --resume requires --cache-dir", file=sys.stderr)
         return 2
     graph = _build_graph(args)
     if args.chip_counts:
@@ -248,15 +293,33 @@ def _cmd_explore(args) -> int:
                   cycles_per_ms=args.cycles_per_ms, name="explore",
                   energy=energy, n_chips=args.chips,
                   bridge_latency=args.bridge_latency)
-    points = explore_architecture(
-        graph, base, crossbar_sizes=args.sizes, method=args.method,
-        seed=args.seed,
-        pso_config=PSOConfig(n_particles=args.particles,
-                             n_iterations=args.iterations),
-        noc_config=NocConfig(backend=args.noc_backend),
-        objective=args.objective,
-        workers=args.workers,
-    )
+    cache = _build_cache(args)
+    pso_config = PSOConfig(n_particles=args.particles,
+                           n_iterations=args.iterations)
+    noc_config = NocConfig(backend=args.noc_backend)
+    if args.resume:
+        points = _resumable_sweep(
+            args,
+            list(args.sizes),
+            lambda i, size: architecture_point(
+                graph, base, size, i, method=args.method, seed=args.seed,
+                pso_config=pso_config, noc_config=noc_config,
+                objective=args.objective, workers=args.workers, cache=cache,
+            ),
+            campaign=f"explore-{args.app}",
+            fingerprint=(args.app, args.seed, tuple(args.sizes),
+                         args.method, args.objective),
+        )
+    else:
+        points = explore_architecture(
+            graph, base, crossbar_sizes=args.sizes, method=args.method,
+            seed=args.seed,
+            pso_config=pso_config,
+            noc_config=noc_config,
+            objective=args.objective,
+            workers=args.workers,
+            cache=cache,
+        )
     rows = [
         (p.neurons_per_crossbar, p.n_crossbars, f"{p.local_energy_uj:.3f}",
          f"{p.global_energy_uj:.3f}", f"{p.total_energy_uj:.3f}",
@@ -274,15 +337,33 @@ def _cmd_explore(args) -> int:
 def _explore_chip_counts(args, graph) -> int:
     """Chip-count sweep: same platform, 1..N chips (Fig. 6 style)."""
     base = _build_architecture(args, graph)
-    points = explore_chips(
-        graph, base, chip_counts=args.chip_counts, method=args.method,
-        seed=args.seed,
-        pso_config=PSOConfig(n_particles=args.particles,
-                             n_iterations=args.iterations),
-        noc_config=NocConfig(backend=args.noc_backend),
-        objective=args.objective,
-        workers=args.workers,
-    )
+    cache = _build_cache(args)
+    pso_config = PSOConfig(n_particles=args.particles,
+                           n_iterations=args.iterations)
+    noc_config = NocConfig(backend=args.noc_backend)
+    if args.resume:
+        points = _resumable_sweep(
+            args,
+            list(args.chip_counts),
+            lambda i, chips: chip_point(
+                graph, base, chips, i, method=args.method, seed=args.seed,
+                pso_config=pso_config, noc_config=noc_config,
+                objective=args.objective, workers=args.workers, cache=cache,
+            ),
+            campaign=f"explore-chips-{args.app}",
+            fingerprint=(args.app, args.seed, tuple(args.chip_counts),
+                         args.method, args.objective),
+        )
+    else:
+        points = explore_chips(
+            graph, base, chip_counts=args.chip_counts, method=args.method,
+            seed=args.seed,
+            pso_config=pso_config,
+            noc_config=noc_config,
+            objective=args.objective,
+            workers=args.workers,
+            cache=cache,
+        )
     rows = [
         (p.n_chips, p.n_bridges, f"{p.global_energy_uj:.3f}",
          f"{p.total_energy_uj:.3f}", p.inter_chip_hops,
@@ -294,6 +375,118 @@ def _explore_chip_counts(args, graph) -> int:
          "crossings", "latency (cy)"],
         rows,
     ))
+    return 0
+
+
+#: Recognized keys of one request object in a --requests JSON file,
+#: with their defaults (a deliberately small, flat vocabulary — the
+#: service API takes real objects; this is the shell-friendly subset).
+_SERVE_DEFAULTS = {
+    "app": None,
+    "seed": 1,
+    "map_seed": None,
+    "duration": None,
+    "crossbars": None,
+    "capacity": None,
+    "interconnect": "tree",
+    "cycles_per_ms": 10.0,
+    "chips": 1,
+    "chip_topology": None,
+    "bridge_latency": 4,
+    "bridge_energy": None,
+    "arch_config": None,
+    "method": "pso",
+    "objective": "packets",
+    "particles": 30,
+    "iterations": 20,
+    "noc_backend": "fast",
+    "faults": 0,
+    "fault_seed": None,
+    "warm": False,
+    "workers": 1,
+}
+
+
+def _cmd_serve(args) -> int:
+    import json
+
+    from repro.framework.service import MapRequest, MappingService
+
+    with open(args.requests) as fh:
+        specs = json.load(fh)
+    if not isinstance(specs, list) or not specs:
+        print(
+            "error: --requests file must hold a non-empty JSON list of "
+            "request objects",
+            file=sys.stderr,
+        )
+        return 2
+    requests = []
+    for i, spec in enumerate(specs):
+        unknown = sorted(set(spec) - set(_SERVE_DEFAULTS))
+        if unknown:
+            print(
+                f"error: request #{i} has unknown keys {unknown}; "
+                f"known: {sorted(_SERVE_DEFAULTS)}",
+                file=sys.stderr,
+            )
+            return 2
+        merged = {**_SERVE_DEFAULTS, **spec}
+        if not merged["app"]:
+            print(f"error: request #{i} is missing 'app'", file=sys.stderr)
+            return 2
+        ns = argparse.Namespace(**merged)
+        if _reject_non_pso_noc(ns.objective, [ns.method]):
+            return 2
+        graph = _build_graph(ns)
+        arch = _build_architecture(ns, graph)
+        requests.append(
+            MapRequest(
+                graph=graph,
+                architecture=arch,
+                method=ns.method,
+                # `seed` seeds both the workload and the mapper; `map_seed`
+                # decouples them so same-workload requests with different
+                # mapper seeds stay coalescible (identical graph content).
+                seed=ns.seed if ns.map_seed is None else ns.map_seed,
+                pso_config=PSOConfig(
+                    n_particles=ns.particles, n_iterations=ns.iterations
+                ),
+                noc_config=NocConfig(backend=ns.noc_backend),
+                objective=ns.objective,
+                workers=ns.workers,
+                faults=ns.faults,
+                fault_seed=ns.fault_seed,
+                warm=bool(ns.warm),
+                label=f"{ns.app}#{i}",
+            )
+        )
+    with MappingService(cache_dir=args.cache_dir) as service:
+        results = service.serve_batch(requests)
+        rows = [
+            (
+                req.label,
+                req.method,
+                req.objective,
+                f"{res.mapping.fitness:.0f}",
+                f"{res.report.total_energy_pj * 1e-6:.3f}",
+                res.report.max_latency_cycles,
+            )
+            for req, res in zip(requests, results)
+        ]
+        print(format_table(
+            ["request", "method", "objective", "global spikes", "total uJ",
+             "latency (cy)"],
+            rows,
+        ))
+        stats = dict(service.cache.stats)
+        line = ", ".join(f"{k}={v}" for k, v in sorted(stats.items()))
+        print(f"cache: {line}")
+        if service.coalescer_stats:
+            line = ", ".join(
+                f"{k}={v}" for k, v in sorted(service.coalescer_stats.items())
+            )
+            print(f"coalescer: {line}")
     return 0
 
 
@@ -313,12 +506,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_pso_arguments(p_map)
     _add_noc_backend_argument(p_map)
     _add_fault_arguments(p_map)
+    _add_cache_argument(p_map)
     p_map.add_argument("--method", default="pso", choices=METHODS)
 
     p_cmp = sub.add_parser("compare", help="compare partitioning methods")
     _add_app_arguments(p_cmp)
     _add_arch_arguments(p_cmp)
     _add_pso_arguments(p_cmp)
+    _add_cache_argument(p_cmp)
     p_cmp.add_argument("--methods", nargs="+", default=["neutrams", "pacman", "pso"],
                        choices=METHODS)
 
@@ -327,6 +522,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_arch_arguments(p_exp)
     _add_pso_arguments(p_exp)
     _add_noc_backend_argument(p_exp)
+    _add_cache_argument(p_exp)
     p_exp.add_argument("--method", default="pso", choices=METHODS)
     p_exp.add_argument("--sizes", nargs="+", type=int,
                        default=[90, 180, 360, 720, 1440])
@@ -335,6 +531,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep chip counts instead of crossbar sizes (platform "
              "taken from the architecture flags)",
     )
+    p_exp.add_argument(
+        "--resume", action="store_true",
+        help="checkpoint each sweep point under --cache-dir/sweeps and "
+             "resume a killed campaign where it stopped (requires "
+             "--cache-dir)",
+    )
+
+    p_srv = sub.add_parser(
+        "serve", help="answer a batch of mapping requests as a service"
+    )
+    p_srv.add_argument(
+        "--requests", required=True,
+        help="JSON file holding a list of request objects "
+             '(e.g. [{"app": "hello_world", "seed": 1}, ...])',
+    )
+    _add_cache_argument(p_srv)
 
     p_rep = sub.add_parser(
         "reproduce", help="regenerate a paper table/figure"
@@ -361,6 +573,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "map": _cmd_map,
         "compare": _cmd_compare,
         "explore": _cmd_explore,
+        "serve": _cmd_serve,
         "reproduce": _cmd_reproduce,
     }
     return handlers[args.command](args)

@@ -79,6 +79,50 @@ class ChipPoint:
     global_spikes: float
 
 
+def architecture_point(
+    graph: SpikeGraph,
+    base: Architecture,
+    size: int,
+    index: int,
+    *,
+    method: str = "pso",
+    seed: SeedLike = None,
+    pso_config: Optional[PSOConfig] = None,
+    noc_config: Optional[NocConfig] = None,
+    objective: str = "packets",
+    workers=1,
+    cache=None,
+) -> ArchitecturePoint:
+    """One Fig. 6 sweep point: crossbar size ``size`` at sweep ``index``.
+
+    Extracted from :func:`explore_architecture` so resumable campaigns
+    (:func:`~repro.framework.service.run_sweep_resumable`) can run the
+    exact same per-point computation one checkpointed index at a time.
+    """
+    arch = base.scaled_to(graph.n_neurons, size)
+    result = run_pipeline(
+        graph,
+        arch,
+        method=method,
+        seed=derive_seed(seed, index),
+        pso_config=pso_config,
+        noc_config=noc_config,
+        objective=objective,
+        workers=workers,
+        cache=cache,
+    )
+    report = result.report
+    return ArchitecturePoint(
+        neurons_per_crossbar=size,
+        n_crossbars=arch.n_crossbars,
+        local_energy_uj=report.local_energy_pj * 1e-6,
+        global_energy_uj=report.global_energy_pj * 1e-6,
+        total_energy_uj=report.total_energy_pj * 1e-6,
+        max_latency_cycles=report.max_latency_cycles,
+        global_spikes=report.global_spikes,
+    )
+
+
 def explore_architecture(
     graph: SpikeGraph,
     base: Architecture,
@@ -89,6 +133,7 @@ def explore_architecture(
     noc_config: Optional[NocConfig] = None,
     objective: str = "packets",
     workers=1,
+    cache=None,
 ) -> List[ArchitecturePoint]:
     """Fig. 6: vary crossbar size, keep the application fixed.
 
@@ -96,34 +141,70 @@ def explore_architecture(
     (fewer, larger crossbars or more, smaller ones), then the full
     pipeline runs: mapping, NoC simulation, energy accounting.
     ``objective="noc"`` with ``workers > 1`` shards each sweep point's
-    swarm scoring across processes.
+    swarm scoring across processes; ``cache`` shares derived artifacts
+    (topologies, routing, hop matrices) across points.
     """
-    points: List[ArchitecturePoint] = []
-    for i, size in enumerate(crossbar_sizes):
-        arch = base.scaled_to(graph.n_neurons, size)
-        result = run_pipeline(
+    return [
+        architecture_point(
             graph,
-            arch,
+            base,
+            size,
+            i,
             method=method,
-            seed=derive_seed(seed, i),
+            seed=seed,
             pso_config=pso_config,
             noc_config=noc_config,
             objective=objective,
             workers=workers,
+            cache=cache,
         )
-        report = result.report
-        points.append(
-            ArchitecturePoint(
-                neurons_per_crossbar=size,
-                n_crossbars=arch.n_crossbars,
-                local_energy_uj=report.local_energy_pj * 1e-6,
-                global_energy_uj=report.global_energy_pj * 1e-6,
-                total_energy_uj=report.total_energy_pj * 1e-6,
-                max_latency_cycles=report.max_latency_cycles,
-                global_spikes=report.global_spikes,
-            )
-        )
-    return points
+        for i, size in enumerate(crossbar_sizes)
+    ]
+
+
+def chip_point(
+    graph: SpikeGraph,
+    base: Architecture,
+    chips: int,
+    index: int,
+    *,
+    method: str = "pso",
+    seed: SeedLike = None,
+    pso_config: Optional[PSOConfig] = None,
+    noc_config: Optional[NocConfig] = None,
+    objective: str = "packets",
+    workers=1,
+    cache=None,
+) -> ChipPoint:
+    """One chip-count sweep point (see :func:`explore_chips`)."""
+    arch = replace(base, n_chips=chips, name=f"{base.name}@{chips}chips")
+    result = run_pipeline(
+        graph,
+        arch,
+        method=method,
+        seed=derive_seed(seed, index),
+        pso_config=pso_config,
+        noc_config=noc_config,
+        objective=objective,
+        workers=workers,
+        cache=cache,
+    )
+    report = result.report
+    return ChipPoint(
+        n_chips=chips,
+        n_bridges=getattr(result.topology, "n_bridges", 0),
+        local_energy_uj=report.local_energy_pj * 1e-6,
+        global_energy_uj=report.global_energy_pj * 1e-6,
+        total_energy_uj=report.total_energy_pj * 1e-6,
+        max_latency_cycles=report.max_latency_cycles,
+        mean_latency_cycles=report.mean_latency_cycles,
+        inter_chip_hops=report.inter_chip_hops,
+        bridge_crossings=report.bridge_crossings,
+        mean_inter_chip_latency_cycles=(
+            report.mean_inter_chip_latency_cycles
+        ),
+        global_spikes=report.global_spikes,
+    )
 
 
 def explore_chips(
@@ -136,6 +217,7 @@ def explore_chips(
     noc_config: Optional[NocConfig] = None,
     objective: str = "packets",
     workers=1,
+    cache=None,
 ) -> List[ChipPoint]:
     """Sweep how many chips the platform's crossbars are spread across.
 
@@ -146,38 +228,22 @@ def explore_chips(
     the energy accounting including the bridge term — so the sweep shows
     the real latency/energy cliff of going off-chip, Fig. 6 style.
     """
-    points: List[ChipPoint] = []
-    for i, chips in enumerate(chip_counts):
-        arch = replace(base, n_chips=chips, name=f"{base.name}@{chips}chips")
-        result = run_pipeline(
+    return [
+        chip_point(
             graph,
-            arch,
+            base,
+            chips,
+            i,
             method=method,
-            seed=derive_seed(seed, i),
+            seed=seed,
             pso_config=pso_config,
             noc_config=noc_config,
             objective=objective,
             workers=workers,
+            cache=cache,
         )
-        report = result.report
-        points.append(
-            ChipPoint(
-                n_chips=chips,
-                n_bridges=getattr(result.topology, "n_bridges", 0),
-                local_energy_uj=report.local_energy_pj * 1e-6,
-                global_energy_uj=report.global_energy_pj * 1e-6,
-                total_energy_uj=report.total_energy_pj * 1e-6,
-                max_latency_cycles=report.max_latency_cycles,
-                mean_latency_cycles=report.mean_latency_cycles,
-                inter_chip_hops=report.inter_chip_hops,
-                bridge_crossings=report.bridge_crossings,
-                mean_inter_chip_latency_cycles=(
-                    report.mean_inter_chip_latency_cycles
-                ),
-                global_spikes=report.global_spikes,
-            )
-        )
-    return points
+        for i, chips in enumerate(chip_counts)
+    ]
 
 
 def estimate_interconnect_energy_pj(

@@ -66,6 +66,9 @@ def run_pipeline(
     workers=1,
     faults: int = 0,
     fault_seed: SeedLike = None,
+    cache=None,
+    coalescer=None,
+    warm_seeds=None,
 ) -> PipelineResult:
     """Map ``graph`` onto ``architecture`` and measure the result.
 
@@ -98,33 +101,81 @@ def run_pipeline(
         Degraded multi-chip fabrics keep their chip/bridge accounting.
     fault_seed:
         RNG seed of the fault draw (``faults > 0`` only).
+    cache:
+        An :class:`~repro.framework.artifacts.ArtifactCache`.  Shares
+        the topology, routing tables, hop matrices, injection schedules
+        and fault draws across calls, and memoizes the full
+        :class:`PipelineResult` for deterministic runs (seeded mapping,
+        seeded or absent faults) — a repeat request is answered from the
+        cache, bit-identical to recomputing it.
+    coalescer / warm_seeds:
+        Serving-layer hooks, forwarded to
+        :func:`~repro.core.mapper.map_snn` (see
+        :class:`~repro.framework.service.MappingService`).
     """
+    memo_key = None
+    if cache is not None:
+        deterministic_mapping = seed is not None or method in ("pacman", "greedy")
+        deterministic_faults = faults == 0 or fault_seed is not None
+        if deterministic_mapping and deterministic_faults:
+            from repro.framework.artifacts import pipeline_token
+
+            memo_key = cache.key(
+                "pipeline-result",
+                pipeline_token(
+                    graph,
+                    architecture,
+                    method=method,
+                    seed=seed,
+                    pso_config=pso_config,
+                    noc_config=noc_config,
+                    simulate_noc=simulate_noc,
+                    objective=objective,
+                    faults=faults,
+                    fault_seed=fault_seed,
+                    warm_seeds=warm_seeds,
+                ),
+            )
+            found, cached = cache.get(memo_key)
+            if found:
+                return _copy_pipeline_result(cached)
+
     mapping = map_snn(
         graph, architecture, method=method, seed=seed, pso_config=pso_config,
         objective=objective, workers=workers, noc_config=noc_config,
+        cache=cache, coalescer=coalescer, warm_seeds=warm_seeds,
     )
-    topology = architecture.build_topology()
+    if cache is not None:
+        topology = cache.topology(architecture)
+    else:
+        topology = architecture.build_topology()
     failed_links: List[Tuple[int, int]] = []
     if faults:
-        topology, failed_links = inject_random_faults(
-            topology, faults, seed=fault_seed
+        if cache is not None:
+            topology, failed_links = cache.degraded_topology(
+                topology, faults, fault_seed
+            )
+        else:
+            topology, failed_links = inject_random_faults(
+                topology, faults, seed=fault_seed
+            )
+    if cache is not None:
+        schedule = cache.schedule(
+            graph, mapping.assignment, topology, architecture.cycles_per_ms
         )
-    schedule = build_injections(
-        graph,
-        mapping.assignment,
-        topology,
-        cycles_per_ms=architecture.cycles_per_ms,
-    )
+    else:
+        schedule = build_injections(
+            graph,
+            mapping.assignment,
+            topology,
+            cycles_per_ms=architecture.cycles_per_ms,
+        )
     if simulate_noc:
-        interconnect = build_interconnect(topology, config=noc_config)
-        # Both backends accept the schedule object: the fast backend
-        # adopts the columnar arrays directly, the reference loop reads
-        # the lazily materialized legacy injection list.
-        stats = interconnect.simulate(schedule)
+        stats = _simulate_schedule(topology, schedule, noc_config, cache)
     else:
         stats = NocStats()
     report = build_report(graph.name, mapping, stats, architecture, topology)
-    return PipelineResult(
+    result = PipelineResult(
         graph=graph,
         architecture=architecture,
         mapping=mapping,
@@ -133,6 +184,54 @@ def run_pipeline(
         report=report,
         topology=topology,
         failed_links=failed_links,
+    )
+    if memo_key is not None:
+        cache.put(memo_key, _copy_pipeline_result(result), persist=False)
+    return result
+
+
+def _simulate_schedule(topology, schedule, noc_config, cache) -> NocStats:
+    """Simulate one schedule, memoizing the stats when a cache is given.
+
+    Stats are keyed by (schedule content, topology content, config) —
+    memory-only, since a ``NocStats`` is cheap to hold but the columnar
+    schedule it came from already identifies it completely.  Both
+    backends accept the schedule object: the fast backend adopts the
+    columnar arrays directly, the reference loop reads the lazily
+    materialized legacy injection list.
+    """
+
+    def build() -> NocStats:
+        return build_interconnect(topology, config=noc_config).simulate(schedule)
+
+    if cache is None:
+        return build()
+    from repro.framework.artifacts import config_token, topology_token
+
+    token = (
+        schedule.cycle,
+        schedule.src_node,
+        schedule.src_neuron,
+        schedule.uid,
+        schedule.dst_words,
+        schedule.node_ids,
+        schedule.cycles_per_ms,
+        topology_token(topology),
+        config_token(noc_config),
+    )
+    return cache.get_or_build("noc-stats", token, build)
+
+
+def _copy_pipeline_result(result: PipelineResult) -> PipelineResult:
+    """Shallow-copy a cached result so callers cannot mutate the cache."""
+    import dataclasses
+
+    from repro.core.mapper import _copy_mapping_result
+
+    return dataclasses.replace(
+        result,
+        mapping=_copy_mapping_result(result.mapping),
+        failed_links=list(result.failed_links),
     )
 
 
@@ -146,6 +245,9 @@ def run_fault_sweep(
     pso_config: Optional[PSOConfig] = None,
     noc_config: Optional[NocConfig] = None,
     mapping: Optional[MappingResult] = None,
+    cache=None,
+    state_dir: Optional[str] = None,
+    campaign: str = "fault-sweep",
 ) -> DegradationCurve:
     """Measure one mapping across rising link-fault counts.
 
@@ -155,37 +257,72 @@ def run_fault_sweep(
     ``fault_seed``.  Traffic reroutes over shortest-path detours; the
     returned :class:`~repro.metrics.report.DegradationCurve` records
     latency, energy and spike disorder per fault level.
+
+    ``cache`` shares topology/schedule artifacts across fault levels and
+    sweeps.  ``state_dir`` makes the sweep resumable: each fault level's
+    point is checkpointed through
+    :func:`~repro.framework.service.run_sweep_resumable`, so a killed
+    campaign restarted with the same arguments recomputes only the
+    missing levels.
     """
     if mapping is None:
         mapping = map_snn(
             graph, architecture, method=method, seed=seed,
-            pso_config=pso_config, noc_config=noc_config,
+            pso_config=pso_config, noc_config=noc_config, cache=cache,
         )
-    healthy = architecture.build_topology()
+    if cache is not None:
+        healthy = cache.topology(architecture)
+    else:
+        healthy = architecture.build_topology()
     healthy_links = healthy.graph.number_of_edges()
     curve = DegradationCurve(
         app=graph.name, method=mapping.method, topology_kind=healthy.kind
     )
-    for n_faults in fault_counts:
+
+    def fault_point(index: int, n_faults: int):
         if n_faults:
-            topology, failed = inject_random_faults(
-                healthy, n_faults, seed=fault_seed
-            )
+            if cache is not None:
+                topology, failed = cache.degraded_topology(
+                    healthy, n_faults, fault_seed
+                )
+            else:
+                topology, failed = inject_random_faults(
+                    healthy, n_faults, seed=fault_seed
+                )
         else:
             topology, failed = healthy, []
-        schedule = build_injections(
-            graph,
-            mapping.assignment,
-            topology,
-            cycles_per_ms=architecture.cycles_per_ms,
-        )
-        stats = build_interconnect(topology, config=noc_config).simulate(
-            schedule
-        )
-        curve.points.append(
-            degradation_point(
-                n_faults, failed, stats, architecture, topology,
-                healthy_links,
+        if cache is not None:
+            schedule = cache.schedule(
+                graph, mapping.assignment, topology,
+                architecture.cycles_per_ms,
             )
+        else:
+            schedule = build_injections(
+                graph,
+                mapping.assignment,
+                topology,
+                cycles_per_ms=architecture.cycles_per_ms,
+            )
+        stats = _simulate_schedule(topology, schedule, noc_config, cache)
+        return degradation_point(
+            n_faults, failed, stats, architecture, topology, healthy_links
         )
+
+    if state_dir is not None:
+        from repro.framework.service import run_sweep_resumable
+
+        run = run_sweep_resumable(
+            list(fault_counts),
+            fault_point,
+            state_dir,
+            campaign=campaign,
+            fingerprint=(
+                graph.name, architecture.name, mapping.method,
+                tuple(fault_counts), fault_seed,
+            ),
+        )
+        curve.points.extend(run.results)
+    else:
+        for i, n_faults in enumerate(fault_counts):
+            curve.points.append(fault_point(i, n_faults))
     return curve

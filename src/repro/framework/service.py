@@ -1,0 +1,623 @@
+"""Mapping-as-a-service: job queue, request coalescing, resumable sweeps.
+
+Every entry point of the framework used to be one-shot: each
+``map_snn`` / ``run_pipeline`` call re-derived the topology, routing
+tables, hop matrices and columnar schedules it needed, then threw them
+away.  This module is the long-lived serving layer on top:
+
+- :class:`MappingService` — accepts many concurrent map requests
+  (thread-safe :meth:`~MappingService.submit` returning futures, plus a
+  synchronous :meth:`~MappingService.serve_batch` for deterministic
+  tests), backed by one shared content-addressed
+  :class:`~repro.framework.artifacts.ArtifactCache`.
+- :class:`SwarmCoalescer` — merges the NoC-in-the-loop swarm-scoring
+  batches of requests targeting the same fabric into shared
+  ``build_injections_batch`` + ``simulate_many`` calls, extending the
+  existing cross-particle batching across *requests*.  Every row is
+  built and simulated exactly as the solo path would, so coalesced
+  results are bit-identical to one-shot ``map_snn``/``run_pipeline``.
+- :func:`run_sweep_resumable` — a processed-index manifest runner: a
+  killed ``explore_architecture`` / ``run_fault_sweep`` campaign
+  restarted mid-way recomputes only the unfinished points.
+
+The CLI surfaces all three (``repro serve``, ``--cache-dir``,
+``--resume``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pso import PSOConfig
+from repro.framework.artifacts import (
+    ArtifactCache,
+    architecture_token,
+    config_token,
+    graph_token,
+    stable_hash,
+    topology_token,
+)
+from repro.framework.pipeline import PipelineResult, run_pipeline
+from repro.hardware.architecture import Architecture
+from repro.noc.interconnect import NocConfig
+from repro.snn.graph import SpikeGraph
+from repro.utils.rng import SeedLike
+
+__all__ = [
+    "ArtifactCache",
+    "MapRequest",
+    "MappingService",
+    "SwarmCoalescer",
+    "SweepRun",
+    "run_sweep_resumable",
+]
+
+
+# -- requests ----------------------------------------------------------------
+
+
+@dataclass
+class MapRequest:
+    """One unit of service traffic: map ``graph`` onto ``architecture``.
+
+    Mirrors :func:`~repro.framework.pipeline.run_pipeline`'s surface.
+    ``warm=True`` additionally seeds a PSO swarm from the cache's best
+    recorded assignment for this (graph, architecture, objective) —
+    an opt-in, because it changes results (never for the worse: warm
+    seeds are evaluated exactly, so the swarm starts no worse than the
+    recorded state).
+    """
+
+    graph: SpikeGraph
+    architecture: Architecture
+    method: str = "pso"
+    seed: SeedLike = None
+    pso_config: Optional[PSOConfig] = None
+    noc_config: Optional[NocConfig] = None
+    objective: str = "packets"
+    simulate_noc: bool = True
+    workers: Any = 1
+    faults: int = 0
+    fault_seed: SeedLike = None
+    warm: bool = False
+    label: Optional[str] = None
+
+
+# -- cross-request swarm coalescing ------------------------------------------
+
+
+class _PendingScore:
+    """One member's swarm batch awaiting the shared flush."""
+
+    __slots__ = (
+        "fitness",
+        "assignments",
+        "build_key",
+        "sim_key",
+        "schedules",
+        "result",
+        "error",
+        "done",
+    )
+
+    def __init__(self, fitness, assignments, build_key, sim_key) -> None:
+        self.fitness = fitness
+        self.assignments = assignments
+        self.build_key = build_key
+        self.sim_key = sim_key
+        self.schedules = None
+        self.result = None
+        self.error = None
+        self.done = False
+
+
+class SwarmCoalescer:
+    """Merge concurrent NoC-in-the-loop scoring batches across requests.
+
+    Requests mapping the same graph onto the same fabric each run their
+    own PSO, but their per-generation fitness batches land here: when
+    every active member has a batch pending, the batches are stacked
+    into one ``build_injections_batch`` call per (graph, topology,
+    cycles) group and one ``simulate_many`` call per (topology, config)
+    group, then split back per member.  Each row is processed exactly as
+    :meth:`~repro.core.fitness.InterconnectFitness._simulate_batch`
+    would process it solo, so per-request scores are bit-identical to
+    the one-shot path — the shared batch only amortizes the spike-column
+    and routing-table work.
+
+    Membership protocol: the service calls :meth:`join` before a
+    request's optimizer starts and :meth:`leave` (in a ``finally``) when
+    it returns.  A member that finishes early shrinks the quorum, so
+    surviving members keep flushing; mixed phases (one member evaluating
+    warm seeds while another runs generation 12) are fine — the barrier
+    only decides *when* to execute, never what a row scores.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._members = 0
+        self._pending: List[_PendingScore] = []
+        self._engines: Dict[str, Any] = {}
+        self.stats: Dict[str, int] = {
+            "flushes": 0,
+            "merged_flushes": 0,
+            "rows": 0,
+            "member_batches": 0,
+            "build_calls": 0,
+            "simulate_calls": 0,
+        }
+
+    # -- membership ----------------------------------------------------------
+
+    def join(self) -> None:
+        with self._cond:
+            self._members += 1
+
+    def leave(self) -> None:
+        with self._cond:
+            self._members -= 1
+            self._flush_if_ready()
+            self._cond.notify_all()
+
+    # -- scoring -------------------------------------------------------------
+
+    def _keys_for(self, fitness) -> Tuple[str, str]:
+        keys = getattr(fitness, "_coalesce_keys", None)
+        if keys is None:
+            topo = topology_token(fitness.topology)
+            build_key = stable_hash(
+                (
+                    "coalesce-build",
+                    graph_token(fitness.graph),
+                    topo,
+                    fitness.cycles_per_ms,
+                )
+            )
+            sim_key = stable_hash(
+                ("coalesce-sim", topo, config_token(fitness._noc.config))
+            )
+            keys = (build_key, sim_key)
+            fitness._coalesce_keys = keys
+        return keys
+
+    def score(self, fitness, assignments: np.ndarray) -> np.ndarray:
+        """Score one member's (P, N) batch through the shared flush."""
+        assignments = np.atleast_2d(np.asarray(assignments, dtype=np.int64))
+        build_key, sim_key = self._keys_for(fitness)
+        entry = _PendingScore(fitness, assignments, build_key, sim_key)
+        with self._cond:
+            self._pending.append(entry)
+            self._flush_if_ready()
+            while not entry.done:
+                self._cond.wait()
+        if entry.error is not None:
+            raise entry.error
+        return entry.result
+
+    def _flush_if_ready(self) -> None:
+        """Execute the shared batch once every active member is pending.
+
+        Runs with the condition lock held; by construction every other
+        member is blocked waiting for this flush, so holding the lock
+        serializes nothing that could otherwise proceed.
+        """
+        if self._members <= 0 or not self._pending:
+            return
+        if len(self._pending) < self._members:
+            return
+        pending, self._pending = self._pending, []
+        self.stats["flushes"] += 1
+        self.stats["member_batches"] += len(pending)
+        self.stats["rows"] += sum(e.assignments.shape[0] for e in pending)
+        if len(pending) > 1:
+            self.stats["merged_flushes"] += 1
+        try:
+            self._execute(pending)
+        except BaseException as exc:
+            for entry in pending:
+                if entry.result is None:
+                    entry.error = exc
+        finally:
+            for entry in pending:
+                entry.done = True
+            self._cond.notify_all()
+
+    def _execute(self, pending: List[_PendingScore]) -> None:
+        from repro.noc.parallel import summarize
+        from repro.noc.traffic import build_injections_batch
+
+        # Stage 1 — one columnar build per (graph, topology, cycles)
+        # group: spike columns and synapse-pair dedup are shared across
+        # every member's whole swarm.
+        by_build: Dict[str, List[_PendingScore]] = {}
+        for entry in pending:
+            by_build.setdefault(entry.build_key, []).append(entry)
+        for entries in by_build.values():
+            rep = entries[0].fitness
+            stacked = np.vstack([e.assignments for e in entries])
+            self.stats["build_calls"] += 1
+            schedules = build_injections_batch(
+                rep.graph,
+                stacked,
+                rep.topology,
+                cycles_per_ms=rep.cycles_per_ms,
+            )
+            offset = 0
+            for entry in entries:
+                n = entry.assignments.shape[0]
+                entry.schedules = schedules[offset : offset + n]
+                offset += n
+
+        # Stage 2 — one simulate_many per (topology, config) group on a
+        # shared engine (adopted from the first member; engines are
+        # content-identical across members of a group).
+        by_sim: Dict[str, List[_PendingScore]] = {}
+        for entry in pending:
+            by_sim.setdefault(entry.sim_key, []).append(entry)
+        for sim_key, entries in by_sim.items():
+            engine = self._engines.setdefault(sim_key, entries[0].fitness._noc)
+            batch = [s for e in entries for s in e.schedules]
+            self.stats["simulate_calls"] += 1
+            summaries = [
+                summarize(s, engine.topology) for s in engine.simulate_many(batch)
+            ]
+            offset = 0
+            for entry in entries:
+                n = len(entry.schedules)
+                entry.result = np.asarray(
+                    [
+                        entry.fitness._score(s)
+                        for s in summaries[offset : offset + n]
+                    ],
+                    dtype=np.float64,
+                )
+                offset += n
+                entry.schedules = None
+
+
+# -- the service -------------------------------------------------------------
+
+
+class MappingService:
+    """Long-lived mapping service over one shared artifact cache.
+
+    Two serving modes:
+
+    - :meth:`serve_batch` — synchronous and deterministic: requests are
+      answered in order; coalescible groups (same graph + architecture +
+      NoC config, ``objective="noc"``) run through one
+      :class:`SwarmCoalescer`.  This is the mode tests pin.
+    - :meth:`submit` — thread-safe fire-and-forget returning a
+      :class:`~concurrent.futures.Future`.  A background worker drains
+      the queue in arrival order, serving everything queued at each
+      wake-up as one batch — a burst of same-architecture requests
+      coalesces exactly as in :meth:`serve_batch`.
+
+    Either way the answers are bit-identical to one-shot
+    :func:`~repro.framework.pipeline.run_pipeline` calls, and repeat
+    requests are answered from the cache.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ArtifactCache] = None,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        if cache is not None and cache_dir is not None:
+            raise ValueError("pass either a cache or a cache_dir, not both")
+        self.cache = cache if cache is not None else ArtifactCache(cache_dir)
+        self.coalescer_stats: Dict[str, int] = {}
+        self.requests_served = 0
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._queue: List[Tuple[MapRequest, Future]] = []
+        self._worker: Optional[threading.Thread] = None
+        self._closed = False
+
+    # -- synchronous serving -------------------------------------------------
+
+    def serve(self, request: MapRequest) -> PipelineResult:
+        """Answer one request (cache-backed, no coalescing partner)."""
+        return self.serve_batch([request])[0]
+
+    def serve_batch(self, requests: Sequence[MapRequest]) -> List[PipelineResult]:
+        """Answer a batch of requests, in order, deterministically."""
+        results, errors = self._serve_many(list(requests))
+        for error in errors:
+            if error is not None:
+                raise error
+        return results
+
+    # -- asynchronous serving ------------------------------------------------
+
+    def submit(self, request: MapRequest) -> "Future[PipelineResult]":
+        """Enqueue one request; the returned future resolves off-thread."""
+        future: "Future[PipelineResult]" = Future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("MappingService is closed")
+            self._queue.append((request, future))
+            if self._worker is None or not self._worker.is_alive():
+                self._worker = threading.Thread(
+                    target=self._drain, name="mapping-service", daemon=True
+                )
+                self._worker.start()
+            self._wakeup.notify_all()
+        return future
+
+    def _drain(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._closed:
+                    self._wakeup.wait()
+                if not self._queue and self._closed:
+                    return
+                batch, self._queue = self._queue, []
+            requests = [request for request, _ in batch]
+            results, errors = self._serve_many(requests)
+            for (_, future), result, error in zip(batch, results, errors):
+                if error is not None:
+                    future.set_exception(error)
+                else:
+                    future.set_result(result)
+
+    def close(self) -> None:
+        """Stop the background worker after the queue drains."""
+        with self._lock:
+            self._closed = True
+            worker = self._worker
+            self._wakeup.notify_all()
+        if worker is not None and worker.is_alive():
+            worker.join()
+
+    def __enter__(self) -> "MappingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _coalesce_group(self, request: MapRequest) -> Optional[str]:
+        """Group key for requests whose swarm scoring can share batches."""
+        if request.method != "pso" or request.objective != "noc":
+            return None
+        return stable_hash(
+            (
+                "coalesce-group",
+                graph_token(request.graph),
+                architecture_token(request.architecture),
+                config_token(request.noc_config),
+            )
+        )
+
+    def _serve_many(
+        self, requests: List[MapRequest]
+    ) -> Tuple[List[Optional[PipelineResult]], List[Optional[BaseException]]]:
+        results: List[Optional[PipelineResult]] = [None] * len(requests)
+        errors: List[Optional[BaseException]] = [None] * len(requests)
+        groups: Dict[str, List[int]] = {}
+        for i, request in enumerate(requests):
+            key = self._coalesce_group(request) or f"solo-{i}"
+            groups.setdefault(key, []).append(i)
+
+        def serve_into(i: int, coalescer) -> None:
+            try:
+                results[i] = self._serve_one(requests[i], coalescer)
+            except BaseException as exc:
+                errors[i] = exc
+
+        for indices in groups.values():
+            if len(indices) == 1:
+                serve_into(indices[0], None)
+                continue
+            coalescer = SwarmCoalescer()
+            threads = []
+            for i in indices:
+                coalescer.join()
+
+                def member(i=i) -> None:
+                    try:
+                        serve_into(i, coalescer)
+                    finally:
+                        coalescer.leave()
+
+                threads.append(
+                    threading.Thread(target=member, name=f"map-request-{i}")
+                )
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for stat, value in coalescer.stats.items():
+                self.coalescer_stats[stat] = (
+                    self.coalescer_stats.get(stat, 0) + value
+                )
+        self.requests_served += len(requests)
+        return results, errors
+
+    def _serve_one(self, request: MapRequest, coalescer) -> PipelineResult:
+        warm_seeds = None
+        if request.warm and request.method == "pso":
+            warm = self.cache.warm_assignment(
+                request.graph, request.architecture, request.objective
+            )
+            if warm is not None:
+                warm_seeds = warm[None, :]
+        return run_pipeline(
+            request.graph,
+            request.architecture,
+            method=request.method,
+            seed=request.seed,
+            pso_config=request.pso_config,
+            noc_config=request.noc_config,
+            simulate_noc=request.simulate_noc,
+            objective=request.objective,
+            workers=request.workers,
+            faults=request.faults,
+            fault_seed=request.fault_seed,
+            cache=self.cache,
+            coalescer=coalescer,
+            warm_seeds=warm_seeds,
+        )
+
+
+# -- resumable sweep runner --------------------------------------------------
+
+
+@dataclass
+class SweepRun:
+    """Outcome of one :func:`run_sweep_resumable` pass.
+
+    ``results[i]`` is the point value (``None`` if it failed),
+    ``skipped`` the indices answered from the manifest, ``computed``
+    the indices computed this pass, ``failures`` the per-index error
+    report (``on_error="continue"`` only).
+    """
+
+    campaign: str
+    results: List[Optional[Any]]
+    computed: List[int] = field(default_factory=list)
+    skipped: List[int] = field(default_factory=list)
+    failures: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return not self.failures and all(
+            i in self.computed or i in self.skipped
+            for i in range(len(self.results))
+        )
+
+
+def _atomic_write(path: str, payload: bytes) -> None:
+    fd, tmp = tempfile.mkstemp(
+        dir=os.path.dirname(path), prefix=os.path.basename(path), suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def run_sweep_resumable(
+    items: Sequence[Any],
+    point_fn: Callable[[int, Any], Any],
+    state_dir: str,
+    campaign: str = "sweep",
+    fingerprint: Any = None,
+    resume: bool = True,
+    on_error: str = "raise",
+) -> SweepRun:
+    """Run ``point_fn(i, item)`` per item with a processed-index manifest.
+
+    Each completed point is pickled to ``state_dir`` and recorded in
+    ``<campaign>.manifest.json`` *before* the next point starts, so a
+    killed campaign restarted with the same arguments recomputes only
+    the unfinished indices.  The manifest carries a fingerprint of
+    (campaign, item count, caller-provided token): resuming with a
+    different fingerprint raises instead of silently mixing campaigns.
+
+    Parameters
+    ----------
+    resume:
+        ``False`` discards any existing state for this campaign first.
+    on_error:
+        ``"raise"`` (default) propagates a point failure after the
+        completed points are persisted — the crash-equivalent path;
+        ``"continue"`` records the failure per index and keeps going.
+    """
+    if on_error not in ("raise", "continue"):
+        raise ValueError(f"unknown on_error {on_error!r}; use 'raise' or 'continue'")
+    os.makedirs(state_dir, exist_ok=True)
+    manifest_path = os.path.join(state_dir, f"{campaign}.manifest.json")
+    fp = stable_hash(("sweep-fingerprint", campaign, len(items), fingerprint))
+
+    processed: Dict[int, str] = {}
+    if os.path.exists(manifest_path) and not resume:
+        _discard_campaign(state_dir, campaign, manifest_path)
+    elif os.path.exists(manifest_path):
+        try:
+            with open(manifest_path) as fh:
+                manifest = json.load(fh)
+            stored_fp = manifest["fingerprint"]
+            entries = {int(k): str(v) for k, v in manifest["processed"].items()}
+        except Exception:
+            # A corrupt manifest is discarded, never crashed on.
+            _discard_campaign(state_dir, campaign, manifest_path)
+        else:
+            if stored_fp != fp:
+                raise ValueError(
+                    f"campaign {campaign!r} in {state_dir} was started with "
+                    "different items/fingerprint; pass resume=False to "
+                    "discard it"
+                )
+            processed = entries
+
+    run = SweepRun(campaign=campaign, results=[None] * len(items))
+
+    def save_manifest() -> None:
+        payload = json.dumps(
+            {
+                "campaign": campaign,
+                "fingerprint": fp,
+                "n_items": len(items),
+                "processed": {str(i): name for i, name in processed.items()},
+            },
+            indent=2,
+        ).encode()
+        _atomic_write(manifest_path, payload)
+
+    for i, item in enumerate(items):
+        name = processed.get(i)
+        if name is not None:
+            try:
+                with open(os.path.join(state_dir, name), "rb") as fh:
+                    run.results[i] = pickle.load(fh)
+            except Exception:
+                # Corrupt point artifact: recompute it below.
+                del processed[i]
+            else:
+                run.skipped.append(i)
+                continue
+        try:
+            value = point_fn(i, item)
+        except Exception as exc:
+            if on_error == "raise":
+                raise
+            run.failures[i] = f"{type(exc).__name__}: {exc}"
+            continue
+        run.results[i] = value
+        run.computed.append(i)
+        name = f"{campaign}.point{i:04d}.pkl"
+        _atomic_write(os.path.join(state_dir, name), pickle.dumps(value))
+        processed[i] = name
+        save_manifest()
+    return run
+
+
+def _discard_campaign(state_dir: str, campaign: str, manifest_path: str) -> None:
+    try:
+        os.unlink(manifest_path)
+    except OSError:
+        pass
+    for entry in os.listdir(state_dir):
+        if entry.startswith(f"{campaign}.point") and entry.endswith(".pkl"):
+            try:
+                os.unlink(os.path.join(state_dir, entry))
+            except OSError:
+                pass

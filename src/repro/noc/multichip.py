@@ -104,6 +104,25 @@ class MultiChipTopology(Topology):
         if missing:
             raise ValueError(f"routers {missing} have no chip assignment")
 
+    def _signature_fields(self) -> tuple:
+        """Extend the content signature with the chip/bridge bookkeeping.
+
+        The router graph alone already encodes relay chains, but the
+        chip ownership maps decide inter-chip accounting in
+        :func:`~repro.noc.parallel.summarize`, so fabrics that differ
+        only there must not share cached artifacts.
+        """
+        return super()._signature_fields() + (
+            self.n_chips,
+            self.chip_kind,
+            self.bridge_latency,
+            tuple(sorted(self.chip_of_router.items())),
+            tuple(self.chip_of_crossbar),
+            tuple(sorted(self.bridge_links)),
+            tuple(sorted(self.bridge_entry_links)),
+            self.n_bridges,
+        )
+
     # -- hierarchy queries ---------------------------------------------------
 
     def chip_of(self, node: int) -> int:

@@ -54,6 +54,7 @@ class Topology:
         # one topology from another always construct a fresh instance.
         self._diameter: Optional[int] = None
         self._hop_matrices: Dict[str, "object"] = {}
+        self._content_signature: Optional[tuple] = None
 
     @property
     def n_routers(self) -> int:
@@ -71,6 +72,35 @@ class Topology:
                 f"[0, {len(self.attach_points)})"
             )
         return self.attach_points[k]
+
+    def content_signature(self) -> tuple:
+        """Canonical structure token of this fabric (cached).
+
+        Two topology instances with equal signatures are interchangeable
+        for routing, hop matrices and simulation: the signature covers
+        the router graph (sorted undirected edge list), attach points,
+        kind, grid positions and the concrete subclass.  The serving
+        layer's content-addressed :class:`~repro.framework.artifacts
+        .ArtifactCache` keys derived artifacts by it, so sweeps that
+        rebuild the same fabric per point share one set of artifacts.
+        """
+        if self._content_signature is None:
+            self._content_signature = self._signature_fields()
+        return self._content_signature
+
+    def _signature_fields(self) -> tuple:
+        """Hook for subclasses to extend the content signature."""
+        edges = tuple(
+            sorted((u, v) if u <= v else (v, u) for u, v in self.graph.edges)
+        )
+        return (
+            type(self).__name__,
+            self.kind,
+            self.n_routers,
+            tuple(self.attach_points),
+            edges,
+            tuple(sorted(self.positions.items())),
+        )
 
     def diameter(self) -> int:
         """Longest shortest-path (hops) between any two routers (cached)."""

@@ -132,3 +132,51 @@ class TestMultiChipCli:
             return int(row.split("|")[-1])
 
         assert latency(split_out) > latency(flat_out)
+
+
+class TestServe:
+    @staticmethod
+    def _write_requests(tmp_path, specs):
+        import json
+
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps(specs))
+        return str(path)
+
+    def test_serve_coalesces_same_workload_noc_requests(
+        self, tmp_path, capsys
+    ):
+        """`map_seed` reseeds only the mapper, keeping graphs coalescible."""
+        spec = {
+            "app": "synth_1x20", "seed": 7, "duration": 100,
+            "crossbars": 3, "capacity": 10, "objective": "noc",
+            "particles": 5, "iterations": 2,
+        }
+        requests = self._write_requests(
+            tmp_path,
+            [{**spec, "map_seed": 1}, {**spec, "map_seed": 2}],
+        )
+        code = main([
+            "serve", "--requests", requests,
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "synth_1x20#0" in out and "synth_1x20#1" in out
+        assert "cache:" in out
+        coalescer = [ln for ln in out.splitlines() if "coalescer:" in ln]
+        assert coalescer and "merged_flushes=0" not in coalescer[0]
+
+    def test_serve_rejects_unknown_keys(self, tmp_path, capsys):
+        requests = self._write_requests(
+            tmp_path, [{"app": "synth_1x20", "bogus": 1}]
+        )
+        assert main(["serve", "--requests", requests]) == 2
+        assert "unknown keys" in capsys.readouterr().err
+
+    def test_explore_resume_requires_cache_dir(self, capsys):
+        code = main([
+            "explore", "--app", "synth_1x20", "--sizes", "10", "--resume",
+        ])
+        assert code == 2
+        assert "--cache-dir" in capsys.readouterr().err

@@ -1,0 +1,519 @@
+"""Serving layer: cache keys, coalescing, futures, resumable sweeps."""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.apps import build_application
+from repro.core.mapper import map_snn
+from repro.core.pso import PSOConfig
+from repro.framework.artifacts import (
+    ArtifactCache,
+    architecture_key,
+    graph_token,
+    hop_matrix_key,
+    pipeline_token,
+    stable_hash,
+)
+from repro.framework.pipeline import run_pipeline
+from repro.framework.service import (
+    MapRequest,
+    MappingService,
+    run_sweep_resumable,
+)
+from repro.hardware.presets import architecture_for, custom
+from repro.noc.interconnect import NocConfig
+from repro.noc.topology import build_topology, mesh_for
+
+
+SMALL_PSO = PSOConfig(n_particles=6, n_iterations=4)
+
+
+@pytest.fixture
+def graph():
+    return build_application("hello_world", seed=1)
+
+
+@pytest.fixture
+def arch(graph):
+    return architecture_for(
+        graph.n_neurons, neurons_per_crossbar=16,
+        interconnect="mesh", name="svc-test",
+    )
+
+
+# -- cache-key stability -----------------------------------------------------
+
+
+class TestKeyStability:
+    def test_architecture_key_stable_across_processes(self, arch):
+        """The content key must not depend on PYTHONHASHSEED."""
+        script = (
+            "from repro.hardware.presets import architecture_for\n"
+            "from repro.framework.artifacts import architecture_key\n"
+            f"a = architecture_for({arch.n_crossbars * arch.neurons_per_crossbar}, "
+            f"neurons_per_crossbar={arch.neurons_per_crossbar}, "
+            "interconnect='mesh', name='svc-test')\n"
+            "print(architecture_key(a))\n"
+        )
+        env = dict(os.environ, PYTHONPATH="src")
+        keys = set()
+        for hash_seed in ("0", "12345"):
+            env["PYTHONHASHSEED"] = hash_seed
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, env=env, cwd="/root/repo",
+                check=True,
+            )
+            keys.add(out.stdout.strip())
+        keys.add(architecture_key(arch))
+        assert len(keys) == 1, f"keys diverged: {keys}"
+
+    def test_key_ignores_name_but_not_structure(self, arch):
+        import dataclasses
+
+        renamed = dataclasses.replace(arch, name="other-label")
+        assert architecture_key(renamed) == architecture_key(arch)
+        resized = dataclasses.replace(
+            arch, neurons_per_crossbar=arch.neurons_per_crossbar * 2
+        )
+        assert architecture_key(resized) != architecture_key(arch)
+        rewired = dataclasses.replace(arch, interconnect="tree")
+        assert architecture_key(rewired) != architecture_key(arch)
+
+    def test_topology_signature_distinguishes_kind_and_params(self):
+        keys = {
+            stable_hash(build_topology(kind, 8).content_signature())
+            for kind in ("mesh", "tree", "star", "torus", "multichip")
+        }
+        assert len(keys) == 5
+        assert stable_hash(mesh_for(8).content_signature()) != stable_hash(
+            mesh_for(9).content_signature()
+        )
+
+    def test_hop_matrix_key_tracks_routing_algorithm(self):
+        from repro.noc.routing import routing_for, shortest_path_routing
+
+        topo = mesh_for(9)
+        # Explicit default routing and implied default must unify.
+        assert hop_matrix_key(topo) == hop_matrix_key(topo, routing_for(topo))
+        assert hop_matrix_key(topo) != hop_matrix_key(
+            topo, shortest_path_routing(topo)
+        )
+
+    def test_pipeline_token_tracks_faults_seed_and_method(self, graph, arch):
+        base = dict(method="pso", seed=3, pso_config=SMALL_PSO)
+        t0 = stable_hash(pipeline_token(graph, arch, **base))
+        assert t0 == stable_hash(pipeline_token(graph, arch, **base))
+        assert t0 != stable_hash(
+            pipeline_token(graph, arch, **dict(base, seed=4))
+        )
+        assert t0 != stable_hash(
+            pipeline_token(graph, arch, **dict(base, method="pacman"))
+        )
+        assert t0 != stable_hash(
+            pipeline_token(graph, arch, **base, faults=2, fault_seed=1)
+        )
+        assert t0 != stable_hash(
+            pipeline_token(graph, arch, **base, objective="spikes")
+        )
+
+    def test_graph_token_tracks_content(self, graph):
+        other = build_application("hello_world", seed=2)
+        assert stable_hash(graph_token(graph)) == stable_hash(graph_token(graph))
+        assert stable_hash(graph_token(graph)) != stable_hash(graph_token(other))
+
+
+# -- artifact sharing --------------------------------------------------------
+
+
+class TestArtifactSharing:
+    def test_hop_matrix_shared_across_fitness_instances(self, graph):
+        from repro.core.fitness import InterconnectFitness
+        from repro.noc.routing import routing_for
+
+        cache = ArtifactCache()
+        results = []
+        for _ in range(3):
+            topo = mesh_for(8)  # fresh instance each time, same content
+            fit = InterconnectFitness(
+                graph, hop_weighted=True, topology=topo,
+                routing=routing_for(topo), cache=cache,
+            )
+            results.append(fit._hop_distances())
+        assert results[0] is results[1] is results[2]
+        assert cache.stats["misses"] == 1
+        assert cache.stats["hits"] == 2
+
+    def test_disk_roundtrip_and_corrupt_entry_discarded(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        key = cache.key("thing", ("token", 1))
+        cache.put(key, np.arange(5), persist=True)
+
+        fresh = ArtifactCache(str(tmp_path))
+        found, value = fresh.get(key)
+        assert found and np.array_equal(value, np.arange(5))
+        assert fresh.stats["disk_hits"] == 1
+
+        # Corrupt the entry on disk: the next cold lookup must discard
+        # it and report a miss, never crash.
+        path = os.path.join(str(tmp_path), f"{key}.pkl")
+        with open(path, "wb") as fh:
+            fh.write(b"junk that is not a pickle")
+        cold = ArtifactCache(str(tmp_path))
+        found, _ = cold.get(key)
+        assert not found
+        assert cold.stats["corrupt_discarded"] == 1
+        assert not os.path.exists(path)
+
+        # An entry whose payload is a valid pickle of the wrong shape is
+        # equally discarded.
+        with open(path, "wb") as fh:
+            pickle.dump({"not": "a pair"}, fh)
+        cold2 = ArtifactCache(str(tmp_path))
+        found, _ = cold2.get(key)
+        assert not found
+        assert cold2.stats["corrupt_discarded"] == 1
+
+
+# -- result memoization ------------------------------------------------------
+
+
+class TestResultMemo:
+    def test_cached_pipeline_is_bit_identical(self, graph, arch):
+        baseline = run_pipeline(graph, arch, seed=5, pso_config=SMALL_PSO)
+        cache = ArtifactCache()
+        first = run_pipeline(
+            graph, arch, seed=5, pso_config=SMALL_PSO, cache=cache
+        )
+        repeat = run_pipeline(
+            graph, arch, seed=5, pso_config=SMALL_PSO, cache=cache
+        )
+        for other in (first, repeat):
+            assert np.array_equal(
+                baseline.mapping.assignment, other.mapping.assignment
+            )
+            assert baseline.schedule == other.schedule
+            assert baseline.mapping.fitness == other.mapping.fitness
+            assert (
+                baseline.report.total_energy_pj == other.report.total_energy_pj
+            )
+
+    def test_cached_result_is_a_defensive_copy(self, graph, arch):
+        cache = ArtifactCache()
+        first = run_pipeline(
+            graph, arch, seed=5, pso_config=SMALL_PSO, cache=cache
+        )
+        first.mapping.assignment[:] = -1  # caller misbehaves
+        repeat = run_pipeline(
+            graph, arch, seed=5, pso_config=SMALL_PSO, cache=cache
+        )
+        assert int(repeat.mapping.assignment.min()) >= 0
+
+    def test_unseeded_requests_are_not_memoized(self, graph, arch):
+        # A memoized repeat would return the stored result, whose
+        # wall_time_s is a bit-exact copy; independent runs never share
+        # the exact perf_counter delta.
+        cache = ArtifactCache()
+        a = run_pipeline(graph, arch, seed=None, method="random", cache=cache)
+        b = run_pipeline(graph, arch, seed=None, method="random", cache=cache)
+        assert a.mapping.wall_time_s != b.mapping.wall_time_s
+
+    def test_map_snn_memo_respects_kwargs(self, graph, arch):
+        cache = ArtifactCache()
+        # Seeded, no kwargs: the repeat is served from the memo, so the
+        # recorded wall time is bit-identical.
+        a = map_snn(graph, arch, method="annealing", seed=1, cache=cache)
+        b = map_snn(graph, arch, method="annealing", seed=1, cache=cache)
+        assert a.wall_time_s == b.wall_time_s
+        assert np.array_equal(a.assignment, b.assignment)
+        # Free-form kwargs opt the call out of memoization entirely
+        # (repr-keyed kwargs could collide), so both calls really run.
+        from repro.core.baselines.annealing import AnnealingConfig
+
+        fast = AnnealingConfig(n_steps=50)
+        c = map_snn(
+            graph, arch, method="annealing", seed=1, cache=cache, config=fast
+        )
+        d = map_snn(
+            graph, arch, method="annealing", seed=1, cache=cache, config=fast
+        )
+        assert c.wall_time_s != d.wall_time_s
+
+
+# -- the service -------------------------------------------------------------
+
+
+class TestMappingService:
+    def test_serve_batch_matches_one_shot(self, graph, arch):
+        ncfg = NocConfig(backend="fast")
+        seeds = (1, 2)
+        solo = [
+            run_pipeline(
+                graph, arch, seed=s, pso_config=SMALL_PSO,
+                noc_config=ncfg, objective="noc",
+            )
+            for s in seeds
+        ]
+        service = MappingService()
+        served = service.serve_batch(
+            [
+                MapRequest(
+                    graph=graph, architecture=arch, seed=s,
+                    pso_config=SMALL_PSO, noc_config=ncfg, objective="noc",
+                )
+                for s in seeds
+            ]
+        )
+        for a, b in zip(solo, served):
+            assert np.array_equal(a.mapping.assignment, b.mapping.assignment)
+            assert a.schedule == b.schedule
+            assert a.noc_stats.total_hops() == b.noc_stats.total_hops()
+        # The two swarms really shared batches, not just ran side by side.
+        assert service.coalescer_stats["merged_flushes"] > 0
+        assert service.coalescer_stats["member_batches"] > (
+            service.coalescer_stats["flushes"]
+        )
+
+    def test_mixed_batch_coalesces_only_matching_requests(self, graph, arch):
+        ncfg = NocConfig(backend="fast")
+        service = MappingService()
+        requests = [
+            MapRequest(
+                graph=graph, architecture=arch, seed=1,
+                pso_config=SMALL_PSO, noc_config=ncfg, objective="noc",
+            ),
+            MapRequest(graph=graph, architecture=arch, method="pacman"),
+            MapRequest(
+                graph=graph, architecture=arch, seed=2,
+                pso_config=SMALL_PSO, noc_config=ncfg, objective="noc",
+            ),
+        ]
+        served = service.serve_batch(requests)
+        assert served[1].mapping.method == "pacman"
+        ref = run_pipeline(graph, arch, method="pacman")
+        assert np.array_equal(
+            served[1].mapping.assignment, ref.mapping.assignment
+        )
+        assert service.coalescer_stats["merged_flushes"] > 0
+
+    def test_submit_futures_match_serve(self, graph, arch):
+        with MappingService() as service:
+            futures = [
+                service.submit(
+                    MapRequest(
+                        graph=graph, architecture=arch, seed=s,
+                        pso_config=SMALL_PSO,
+                    )
+                )
+                for s in (1, 2, 3)
+            ]
+            results = [f.result(timeout=300) for f in futures]
+        for s, res in zip((1, 2, 3), results):
+            ref = run_pipeline(graph, arch, seed=s, pso_config=SMALL_PSO)
+            assert np.array_equal(
+                res.mapping.assignment, ref.mapping.assignment
+            )
+
+    def test_submit_propagates_errors(self, graph):
+        bad_arch = custom(2, 4, name="too-small")  # graph cannot fit
+        with MappingService() as service:
+            future = service.submit(
+                MapRequest(graph=graph, architecture=bad_arch)
+            )
+            with pytest.raises(ValueError):
+                future.result(timeout=60)
+
+    def test_repeat_request_served_from_cache(self, graph, arch):
+        service = MappingService()
+        first = service.serve(
+            MapRequest(
+                graph=graph, architecture=arch, seed=9, pso_config=SMALL_PSO
+            )
+        )
+        hits_before = service.cache.stats["hits"]
+        repeat = service.serve(
+            MapRequest(
+                graph=graph, architecture=arch, seed=9, pso_config=SMALL_PSO
+            )
+        )
+        assert service.cache.stats["hits"] > hits_before
+        assert np.array_equal(
+            first.mapping.assignment, repeat.mapping.assignment
+        )
+
+    def test_warm_request_uses_recorded_state(self, graph, arch):
+        service = MappingService()
+        cold = service.serve(
+            MapRequest(
+                graph=graph, architecture=arch, seed=11, pso_config=SMALL_PSO
+            )
+        )
+        assert (
+            service.cache.warm_assignment(graph, arch, "packets") is not None
+        )
+        warm = service.serve(
+            MapRequest(
+                graph=graph, architecture=arch, seed=12,
+                pso_config=SMALL_PSO, warm=True,
+            )
+        )
+        # Warm seeds are evaluated exactly, so the warmed swarm can never
+        # end worse than the recorded optimum it started from.
+        assert warm.mapping.extras["packets"] <= cold.mapping.extras["packets"]
+
+
+# -- resumable sweeps --------------------------------------------------------
+
+
+class TestResumableSweep:
+    def test_resume_skips_exactly_processed_indices(self, tmp_path):
+        state = str(tmp_path)
+        calls = []
+
+        def flaky(i, item):
+            calls.append(i)
+            if i == 2:
+                raise RuntimeError("killed mid-campaign")
+            return item * 10
+
+        with pytest.raises(RuntimeError):
+            run_sweep_resumable(
+                [1, 2, 3, 4], flaky, state, campaign="c", fingerprint="f"
+            )
+        assert calls == [0, 1, 2]
+
+        resumed_calls = []
+
+        def healthy(i, item):
+            resumed_calls.append(i)
+            return item * 10
+
+        run = run_sweep_resumable(
+            [1, 2, 3, 4], healthy, state, campaign="c", fingerprint="f"
+        )
+        assert resumed_calls == [2, 3]
+        assert run.skipped == [0, 1]
+        assert run.computed == [2, 3]
+        assert run.results == [10, 20, 30, 40]
+        assert run.complete
+
+    def test_fingerprint_mismatch_raises(self, tmp_path):
+        state = str(tmp_path)
+        run_sweep_resumable(
+            [1, 2], lambda i, x: x, state, campaign="c", fingerprint="a"
+        )
+        with pytest.raises(ValueError, match="fingerprint"):
+            run_sweep_resumable(
+                [1, 2], lambda i, x: x, state, campaign="c", fingerprint="b"
+            )
+
+    def test_resume_false_discards_state(self, tmp_path):
+        state = str(tmp_path)
+        run_sweep_resumable(
+            [1, 2], lambda i, x: x + 1, state, campaign="c", fingerprint="a"
+        )
+        run = run_sweep_resumable(
+            [1, 2], lambda i, x: x + 100, state, campaign="c",
+            fingerprint="a", resume=False,
+        )
+        assert run.results == [101, 102]
+        assert run.skipped == []
+
+    def test_corrupt_point_artifact_is_recomputed(self, tmp_path):
+        state = str(tmp_path)
+        run_sweep_resumable(
+            [5, 6], lambda i, x: x, state, campaign="c", fingerprint="a"
+        )
+        with open(os.path.join(state, "c.point0000.pkl"), "wb") as fh:
+            fh.write(b"garbage")
+        recomputed = []
+        run = run_sweep_resumable(
+            [5, 6],
+            lambda i, x: recomputed.append(i) or x,
+            state, campaign="c", fingerprint="a",
+        )
+        assert recomputed == [0]
+        assert run.results == [5, 6]
+
+    def test_on_error_continue_records_failures(self, tmp_path):
+        def fn(i, item):
+            if i == 1:
+                raise ValueError("bad point")
+            return item
+
+        run = run_sweep_resumable(
+            [1, 2, 3], fn, str(tmp_path), campaign="c",
+            fingerprint="a", on_error="continue",
+        )
+        assert list(run.failures) == [1]
+        assert "bad point" in run.failures[1]
+        assert run.computed == [0, 2]
+        assert not run.complete
+
+    def test_fault_sweep_resumes(self, graph, arch, tmp_path):
+        from repro.framework.pipeline import run_fault_sweep
+
+        cache = ArtifactCache()
+        baseline = run_fault_sweep(
+            graph, arch, fault_counts=(0, 1), method="pacman",
+            fault_seed=3, cache=cache,
+        )
+        resumable = run_fault_sweep(
+            graph, arch, fault_counts=(0, 1), method="pacman",
+            fault_seed=3, cache=cache, state_dir=str(tmp_path),
+        )
+        resumed = run_fault_sweep(
+            graph, arch, fault_counts=(0, 1), method="pacman",
+            fault_seed=3, cache=cache, state_dir=str(tmp_path),
+        )
+        for curve in (resumable, resumed):
+            assert len(curve.points) == len(baseline.points)
+            for a, b in zip(baseline.points, curve.points):
+                assert a.n_faults == b.n_faults
+                assert a.global_energy_pj == b.global_energy_pj
+                assert a.mean_latency_cycles == b.mean_latency_cycles
+
+
+# -- benchmark aggregation ---------------------------------------------------
+
+
+class TestAggregate:
+    def test_aggregate_merges_leg_reports(self, tmp_path):
+        import json
+
+        legs = {
+            "fastsim_speedup.json": {"speedup": 12.0},
+            "fault_tolerance.json": {"delivery": 1.0},
+            "service_bench.json": {"cache_hit_speedup": 5.0},
+        }
+        for sub, (name, data) in zip(("a", "b", "c"), legs.items()):
+            d = tmp_path / sub
+            d.mkdir()
+            with open(d / name, "w") as fh:
+                json.dump(data, fh)
+        out = tmp_path / "BENCH_summary.json"
+        subprocess.run(
+            [
+                sys.executable, "benchmarks/aggregate.py",
+                "--input-dir", str(tmp_path),
+                "--output", str(out),
+            ],
+            check=True, cwd="/root/repo",
+        )
+        with open(out) as fh:
+            summary = json.load(fh)
+        assert summary["legs"]["fastsim_speedup"]["runs"][0]["data"] == {
+            "speedup": 12.0
+        }
+        assert summary["legs"]["service_bench"]["runs"][0]["data"] == {
+            "cache_hit_speedup": 5.0
+        }
+        assert "parallel_speedup" in summary["missing"]
+        assert summary["n_legs_found"] == 3
