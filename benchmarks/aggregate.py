@@ -30,6 +30,7 @@ EXPECTED_LEGS = (
     "frontend_speedup",
     "fault_tolerance",
     "service_bench",
+    "obs_overhead",
 )
 
 

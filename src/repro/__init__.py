@@ -10,6 +10,7 @@ Subpackages
 - :mod:`repro.hardware` — crossbar platform model (CxQuad-like)
 - :mod:`repro.core` — PSO partitioning (the contribution) + baselines
 - :mod:`repro.metrics` — ISI distortion, disorder, congestion, reports
+- :mod:`repro.obs` — tracing + metrics across the mapping/serving stack
 - :mod:`repro.framework` — the Fig. 4 pipeline, explorations, CLI
 - :mod:`repro.apps` — Table I applications + synthetic workloads
 

@@ -10,7 +10,6 @@ baseline it is compared against.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -34,6 +33,7 @@ from repro.core.traffic_matrix import (
     synapse_split_counts,
 )
 from repro.hardware.architecture import Architecture
+from repro.obs import get_observer
 from repro.snn.graph import SpikeGraph
 from repro.utils.rng import SeedLike
 
@@ -192,107 +192,135 @@ def map_snn(
             )
             found, cached = cache.get(memo_key)
             if found:
+                obs = get_observer()
+                if obs.enabled:
+                    obs.inc("map.memo_hits", method=method)
+                    obs.event("map.memo_hit", method=method, objective=objective)
                 return _copy_mapping_result(cached)
 
-    start = time.perf_counter()
+    obs = get_observer()
+    if obs.enabled:
+        obs.inc("map.requests", method=method, objective=objective)
     extras: Dict[str, object] = {}
-    if method == "pso":
-        if objective == "noc":
-            topology = (
-                cache.topology(architecture)
-                if cache is not None
-                else architecture.build_topology()
+    # Always-timed span (real wall clock with tracing off too):
+    # wall_time_s derives from its duration, and the per-stage spans
+    # below nest under it in a trace.
+    map_span = obs.timed_span(
+        "map_snn",
+        method=method,
+        objective=objective,
+        n_neurons=graph.n_neurons,
+        n_crossbars=c,
+    )
+    with map_span:
+        if method == "pso":
+            if objective == "noc":
+                topology = (
+                    cache.topology(architecture)
+                    if cache is not None
+                    else architecture.build_topology()
+                )
+                fitness = InterconnectFitness(
+                    graph,
+                    noc_in_loop=True,
+                    topology=topology,
+                    cycles_per_ms=architecture.cycles_per_ms,
+                    noc_config=noc_config,
+                    workers=workers,
+                    cache=cache,
+                    coalescer=coalescer,
+                )
+            else:
+                fitness = InterconnectFitness(
+                    graph, count_packets=(objective == "packets"), cache=cache
+                )
+            move_cost = graph.neuron_out_traffic()
+            in_traffic = np.bincount(
+                graph.dst, weights=graph.traffic, minlength=graph.n_neurons
             )
-            fitness = InterconnectFitness(
-                graph,
-                noc_in_loop=True,
-                topology=topology,
-                cycles_per_ms=architecture.cycles_per_ms,
-                noc_config=noc_config,
-                workers=workers,
-                cache=cache,
-                coalescer=coalescer,
+            pso = BinaryPSO(
+                fitness,
+                n_neurons=graph.n_neurons,
+                n_clusters=c,
+                capacity=nc,
+                config=pso_config,
+                move_cost=move_cost + in_traffic,
+                seed=seed,
             )
-        else:
-            fitness = InterconnectFitness(
-                graph, count_packets=(objective == "packets"), cache=cache
-            )
-        move_cost = graph.neuron_out_traffic()
-        in_traffic = np.bincount(
-            graph.dst, weights=graph.traffic, minlength=graph.n_neurons
-        )
-        pso = BinaryPSO(
-            fitness,
-            n_neurons=graph.n_neurons,
-            n_clusters=c,
-            capacity=nc,
-            config=pso_config,
-            move_cost=move_cost + in_traffic,
-            seed=seed,
-        )
-        initial = None
-        if warm_start:
-            seeds = [pacman_partition(graph, c, nc).assignment]
+            initial = None
+            if warm_start:
+                with obs.span("map.warm_start"):
+                    seeds = [pacman_partition(graph, c, nc).assignment]
+                    try:
+                        seeds.append(greedy_partition(graph, c, nc).assignment)
+                    except ValueError:
+                        pass  # greedy can be skipped if packing is degenerate
+                    initial = np.stack(seeds)
+            if warm_seeds is not None:
+                warm = np.atleast_2d(np.asarray(warm_seeds, dtype=np.int64))
+                initial = warm if initial is None else np.vstack([initial, warm])
+            # Always-timed like the parent: the throughput extras below
+            # must report real durations whether or not tracing is on.
+            swarm_span = obs.timed_span("map.pso_optimize")
             try:
-                seeds.append(greedy_partition(graph, c, nc).assignment)
-            except ValueError:
-                pass  # greedy can be skipped if packing is degenerate
-            initial = np.stack(seeds)
-        if warm_seeds is not None:
-            warm = np.atleast_2d(np.asarray(warm_seeds, dtype=np.int64))
-            initial = warm if initial is None else np.vstack([initial, warm])
-        swarm_start = time.perf_counter()
-        try:
-            result = pso.optimize(initial_assignments=initial)
-            # Measured before close(): worker-pool teardown must not
-            # deflate the reported swarm throughput.
-            swarm_wall = time.perf_counter() - swarm_start
-        finally:
-            fitness.close()
-        partition = result.partition(c, nc)
-        extras["history"] = result.history
-        extras["n_evaluations"] = result.n_evaluations
-        # Swarm throughput (particle-iterations per second): the figure
-        # the Fig. 7 bench and quickstart report so front-end regressions
-        # show up directly in bench output.
-        extras["pso_wall_time_s"] = swarm_wall
-        extras["particle_iterations_per_s"] = (
-            result.n_evaluations / swarm_wall if swarm_wall > 0 else float("inf")
-        )
-    elif method == "pacman":
-        partition = pacman_partition(graph, c, nc)
-    elif method == "neutrams":
-        partition = neutrams_partition(graph, c, nc, seed=seed)
-    elif method == "random":
-        partition = random_partition(graph, c, nc, seed=seed)
-    elif method == "greedy":
-        partition = greedy_partition(graph, c, nc)
-    elif method == "genetic":
-        partition = genetic_partition(
-            graph, c, nc, seed=seed,
-            count_packets=(objective == "packets"), **kwargs,
-        )
-    else:  # annealing
-        partition = annealing_partition(graph, c, nc, seed=seed, **kwargs)
+                # Span closes before close(): worker-pool teardown must
+                # not deflate the reported swarm throughput.
+                with swarm_span:
+                    result = pso.optimize(initial_assignments=initial)
+            finally:
+                fitness.close()
+            swarm_wall = swarm_span.duration_s
+            swarm_span.set(
+                n_evaluations=result.n_evaluations,
+                best_fitness=result.best_fitness,
+            )
+            partition = result.partition(c, nc)
+            extras["history"] = result.history
+            extras["n_evaluations"] = result.n_evaluations
+            # Swarm throughput (particle-iterations per second): the
+            # figure the Fig. 7 bench and quickstart report so front-end
+            # regressions show up directly in bench output.
+            extras["pso_wall_time_s"] = swarm_wall
+            extras["particle_iterations_per_s"] = (
+                result.n_evaluations / swarm_wall
+                if swarm_wall > 0
+                else float("inf")
+            )
+        elif method == "pacman":
+            partition = pacman_partition(graph, c, nc)
+        elif method == "neutrams":
+            partition = neutrams_partition(graph, c, nc, seed=seed)
+        elif method == "random":
+            partition = random_partition(graph, c, nc, seed=seed)
+        elif method == "greedy":
+            partition = greedy_partition(graph, c, nc)
+        elif method == "genetic":
+            partition = genetic_partition(
+                graph, c, nc, seed=seed,
+                count_packets=(objective == "packets"), **kwargs,
+            )
+        else:  # annealing
+            partition = annealing_partition(graph, c, nc, seed=seed, **kwargs)
 
-    # The "noc" objective already optimizes against real attach-point
-    # positions, so the closed-form placement pass would permute (and
-    # potentially undo) the simulated optimum; skip it there.
-    if placement and c > 1 and not (method == "pso" and objective == "noc"):
-        matrix = cluster_traffic(graph, partition.assignment, c)
-        topology = (
-            cache.topology(architecture)
-            if cache is not None
-            else architecture.build_topology()
-        )
-        perm = place_clusters(matrix, topology)
-        partition = Partition(
-            assignment=apply_placement(partition.assignment, perm),
-            n_clusters=c,
-            capacity=nc,
-        )
-        extras["placement"] = perm
-    elapsed = time.perf_counter() - start
+        # The "noc" objective already optimizes against real attach-point
+        # positions, so the closed-form placement pass would permute (and
+        # potentially undo) the simulated optimum; skip it there.
+        if placement and c > 1 and not (method == "pso" and objective == "noc"):
+            with obs.span("map.placement"):
+                matrix = cluster_traffic(graph, partition.assignment, c)
+                topology = (
+                    cache.topology(architecture)
+                    if cache is not None
+                    else architecture.build_topology()
+                )
+                perm = place_clusters(matrix, topology)
+                partition = Partition(
+                    assignment=apply_placement(partition.assignment, perm),
+                    n_clusters=c,
+                    capacity=nc,
+                )
+                extras["placement"] = perm
+    elapsed = map_span.duration_s
 
     local_spikes, global_spikes = local_global_split(graph, partition.assignment)
     local_syn, global_syn = synapse_split_counts(graph, partition.assignment)

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.fitness import InterconnectFitness
 from repro.core.partition import Partition, repair_batch
+from repro.obs import get_observer
 from repro.utils.rng import SeedLike, default_rng
 from repro.utils.validation import check_positive
 
@@ -216,12 +217,18 @@ class BinaryPSO:
         stale = 0
         iterations_run = 0
 
+        obs = get_observer()
         for _ in range(cfg.n_iterations):
             iterations_run += 1
-            assignments = self._binarize(positions, scratch, scratch2)
-            assignments = self._repair_batch(assignments)
-            fitness = np.asarray(self._evaluate(assignments), dtype=np.float64)
-            n_evaluations += p
+            with obs.span("pso.iteration", iteration=iterations_run) as it_span:
+                with obs.span("pso.decode_repair"):
+                    assignments = self._binarize(positions, scratch, scratch2)
+                    assignments = self._repair_batch(assignments)
+                with obs.span("pso.evaluate", particles=p):
+                    fitness = np.asarray(
+                        self._evaluate(assignments), dtype=np.float64
+                    )
+                n_evaluations += p
 
             improved = fitness < pbest_fitness
             pbest_fitness = np.where(improved, fitness, pbest_fitness)
@@ -237,6 +244,9 @@ class BinaryPSO:
             else:
                 stale += 1
             history.append(gbest_fitness)
+            # The span closed with the evaluation; attributes stay
+            # writable, so record where the swarm stood afterwards.
+            it_span.set(best_fitness=gbest_fitness)
 
             if (
                 cfg.early_stop_patience is not None

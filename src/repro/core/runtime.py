@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.partition import Partition, is_feasible
 from repro.core.traffic_matrix import TrafficMatrix
+from repro.obs import get_observer
 from repro.snn.graph import SpikeGraph
 from repro.utils.validation import check_nonnegative, check_positive
 
@@ -168,6 +169,15 @@ class RuntimeRemapper:
             )
         self.faulty_clusters.add(cluster)
         self.fault_log.append(event)
+        obs = get_observer()
+        if obs.enabled:
+            obs.inc("runtime.fault_events")
+            obs.event(
+                "fault.crossbar",
+                crossbar=cluster,
+                time=event.time,
+                description=event.description,
+            )
 
     def mark_crossbar_faulty(self, crossbar: int) -> None:
         """Shorthand for :meth:`apply_fault` without event metadata."""
@@ -310,6 +320,24 @@ class RuntimeRemapper:
         moves are exhausted or the swap's gain beats the best single
         move.
         """
+        obs = get_observer()
+        with obs.span(
+            "runtime.remap_epoch", budget=self.migration_budget
+        ) as span:
+            epoch = self._remap_epoch_impl()
+        if obs.enabled:
+            forced_moves = sum(1 for m in epoch.moves if m.forced)
+            span.set(
+                migrations=epoch.n_migrations,
+                forced=forced_moves,
+                improvement=epoch.improvement,
+            )
+            obs.inc("runtime.remap_epochs")
+            obs.inc("runtime.migrations", epoch.n_migrations)
+            obs.inc("runtime.evacuations", forced_moves)
+        return epoch
+
+    def _remap_epoch_impl(self) -> RemapEpoch:
         epoch = RemapEpoch(fitness_before=self.fitness(),
                            fitness_after=0.0)
         sizes = np.bincount(self.assignment, minlength=self.n_clusters)

@@ -41,6 +41,8 @@ from typing import Any, Callable, Dict, Mapping, Optional
 
 import numpy as np
 
+from repro.obs import get_observer
+
 #: Bump when token layouts change incompatibly: old on-disk entries then
 #: miss instead of deserializing into the wrong shape.
 CACHE_SCHEMA = 1
@@ -319,6 +321,7 @@ class ArtifactCache:
         except Exception:
             with self._lock:
                 self.stats["corrupt_discarded"] += 1
+            get_observer().inc("cache.corrupt_discarded")
             try:
                 os.unlink(path)
             except OSError:
@@ -347,9 +350,12 @@ class ArtifactCache:
 
     def get(self, key: str):
         """``(found, value)`` for a key, consulting memory then disk."""
+        obs = get_observer()
         with self._lock:
             if key in self._mem:
                 self.stats["hits"] += 1
+                if obs.enabled:
+                    obs.inc("cache.hits", layer="memory")
                 return True, self._mem[key]
         if self.cache_dir is not None:
             found, value = self._load_disk(key)
@@ -358,15 +364,22 @@ class ArtifactCache:
                     self._mem[key] = value
                     self.stats["hits"] += 1
                     self.stats["disk_hits"] += 1
+                if obs.enabled:
+                    obs.inc("cache.hits", layer="disk")
                 return True, value
         with self._lock:
             self.stats["misses"] += 1
+        if obs.enabled:
+            obs.inc("cache.misses")
         return False, None
 
     def put(self, key: str, value: Any, persist: bool = False) -> None:
         with self._lock:
             self._mem[key] = value
             self.stats["stores"] += 1
+        obs = get_observer()
+        if obs.enabled:
+            obs.inc("cache.stores", persist=bool(persist))
         if persist and self.cache_dir is not None:
             self._store_disk(key, value)
 

@@ -120,6 +120,19 @@ def _add_pso_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record nested wall-clock spans for the whole command and "
+             "write them as JSONL to PATH (one span per line)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="collect counters/gauges/histograms for the whole command "
+             "and write a Prometheus-style text snapshot to PATH",
+    )
+
+
 def _add_cache_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir", default=None,
@@ -487,6 +500,9 @@ def _cmd_serve(args) -> int:
                 f"{k}={v}" for k, v in sorted(service.coalescer_stats.items())
             )
             print(f"coalescer: {line}")
+        # Live cumulative service counters (the daemon-facing view of
+        # the same MetricsRegistry the obs exporters read).
+        print(f"service: requests_served={service.requests_served}")
     return 0
 
 
@@ -507,6 +523,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_noc_backend_argument(p_map)
     _add_fault_arguments(p_map)
     _add_cache_argument(p_map)
+    _add_obs_arguments(p_map)
     p_map.add_argument("--method", default="pso", choices=METHODS)
 
     p_cmp = sub.add_parser("compare", help="compare partitioning methods")
@@ -514,6 +531,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_arch_arguments(p_cmp)
     _add_pso_arguments(p_cmp)
     _add_cache_argument(p_cmp)
+    _add_obs_arguments(p_cmp)
     p_cmp.add_argument("--methods", nargs="+", default=["neutrams", "pacman", "pso"],
                        choices=METHODS)
 
@@ -523,6 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_pso_arguments(p_exp)
     _add_noc_backend_argument(p_exp)
     _add_cache_argument(p_exp)
+    _add_obs_arguments(p_exp)
     p_exp.add_argument("--method", default="pso", choices=METHODS)
     p_exp.add_argument("--sizes", nargs="+", type=int,
                        default=[90, 180, 360, 720, 1440])
@@ -547,6 +566,7 @@ def build_parser() -> argparse.ArgumentParser:
              '(e.g. [{"app": "hello_world", "seed": 1}, ...])',
     )
     _add_cache_argument(p_srv)
+    _add_obs_arguments(p_srv)
 
     p_rep = sub.add_parser(
         "reproduce", help="regenerate a paper table/figure"
@@ -566,6 +586,34 @@ def _cmd_reproduce(args) -> int:
     return 0
 
 
+def _run_observed(args, handler) -> int:
+    """Run ``handler`` under an observer when --trace/--metrics-out ask
+    for one; otherwise call it directly (observability stays zero-cost)."""
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics_out", None)
+    if not trace_path and not metrics_path:
+        return handler(args)
+    from repro.obs import observe, span_tree_summary, write_metrics_text
+    from repro.obs import write_trace_jsonl
+
+    with observe(
+        tracer=None if trace_path else False,
+        metrics=None if metrics_path else False,
+    ) as obs:
+        rc = handler(args)
+    if trace_path:
+        n_spans = write_trace_jsonl(obs.tracer, trace_path)
+        print(f"trace: {n_spans} spans -> {trace_path}")
+        summary = span_tree_summary(obs.tracer, max_depth=3)
+        if summary:
+            print(summary)
+    if metrics_path:
+        write_metrics_text(obs.metrics, metrics_path)
+        print(f"metrics: {len(obs.metrics.counters())} counters -> "
+              f"{metrics_path}")
+    return rc
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -576,7 +624,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "reproduce": _cmd_reproduce,
     }
-    return handlers[args.command](args)
+    return _run_observed(args, handlers[args.command])
 
 
 if __name__ == "__main__":

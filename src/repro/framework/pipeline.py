@@ -25,6 +25,7 @@ from repro.noc.interconnect import NocConfig
 from repro.noc.stats import NocStats
 from repro.noc.topology import Topology
 from repro.noc.traffic import ColumnarSchedule, build_injections
+from repro.obs import get_observer
 from repro.snn.graph import SpikeGraph
 from repro.utils.rng import SeedLike
 
@@ -138,43 +139,65 @@ def run_pipeline(
             )
             found, cached = cache.get(memo_key)
             if found:
+                obs = get_observer()
+                if obs.enabled:
+                    obs.inc("pipeline.memo_hits")
                 return _copy_pipeline_result(cached)
 
-    mapping = map_snn(
-        graph, architecture, method=method, seed=seed, pso_config=pso_config,
-        objective=objective, workers=workers, noc_config=noc_config,
-        cache=cache, coalescer=coalescer, warm_seeds=warm_seeds,
+    obs = get_observer()
+    pipeline_span = obs.span(
+        "run_pipeline",
+        graph=graph.name,
+        method=method,
+        objective=objective,
+        faults=faults,
     )
-    if cache is not None:
-        topology = cache.topology(architecture)
-    else:
-        topology = architecture.build_topology()
-    failed_links: List[Tuple[int, int]] = []
-    if faults:
-        if cache is not None:
-            topology, failed_links = cache.degraded_topology(
-                topology, faults, fault_seed
-            )
+    with pipeline_span:
+        if obs.enabled:
+            obs.inc("pipeline.runs", method=method)
+        mapping = map_snn(
+            graph, architecture, method=method, seed=seed,
+            pso_config=pso_config, objective=objective, workers=workers,
+            noc_config=noc_config, cache=cache, coalescer=coalescer,
+            warm_seeds=warm_seeds,
+        )
+        with obs.span("pipeline.build_topology"):
+            if cache is not None:
+                topology = cache.topology(architecture)
+            else:
+                topology = architecture.build_topology()
+            failed_links: List[Tuple[int, int]] = []
+            if faults:
+                if cache is not None:
+                    topology, failed_links = cache.degraded_topology(
+                        topology, faults, fault_seed
+                    )
+                else:
+                    topology, failed_links = inject_random_faults(
+                        topology, faults, seed=fault_seed
+                    )
+        with obs.span("pipeline.build_schedule"):
+            if cache is not None:
+                schedule = cache.schedule(
+                    graph, mapping.assignment, topology,
+                    architecture.cycles_per_ms,
+                )
+            else:
+                schedule = build_injections(
+                    graph,
+                    mapping.assignment,
+                    topology,
+                    cycles_per_ms=architecture.cycles_per_ms,
+                )
+        if simulate_noc:
+            with obs.span("pipeline.simulate_noc"):
+                stats = _simulate_schedule(topology, schedule, noc_config, cache)
         else:
-            topology, failed_links = inject_random_faults(
-                topology, faults, seed=fault_seed
+            stats = NocStats()
+        with obs.span("pipeline.report"):
+            report = build_report(
+                graph.name, mapping, stats, architecture, topology
             )
-    if cache is not None:
-        schedule = cache.schedule(
-            graph, mapping.assignment, topology, architecture.cycles_per_ms
-        )
-    else:
-        schedule = build_injections(
-            graph,
-            mapping.assignment,
-            topology,
-            cycles_per_ms=architecture.cycles_per_ms,
-        )
-    if simulate_noc:
-        stats = _simulate_schedule(topology, schedule, noc_config, cache)
-    else:
-        stats = NocStats()
-    report = build_report(graph.name, mapping, stats, architecture, topology)
     result = PipelineResult(
         graph=graph,
         architecture=architecture,

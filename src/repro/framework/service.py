@@ -49,6 +49,8 @@ from repro.framework.artifacts import (
 from repro.framework.pipeline import PipelineResult, run_pipeline
 from repro.hardware.architecture import Architecture
 from repro.noc.interconnect import NocConfig
+from repro.obs import get_observer
+from repro.obs.metrics import MetricsRegistry
 from repro.snn.graph import SpikeGraph
 from repro.utils.rng import SeedLike
 
@@ -142,18 +144,28 @@ class SwarmCoalescer:
     only decides *when* to execute, never what a row scores.
     """
 
+    #: Stable key order of :attr:`stats` (pinned by the serve CLI table).
+    STAT_KEYS = (
+        "flushes",
+        "merged_flushes",
+        "rows",
+        "member_batches",
+        "build_calls",
+        "simulate_calls",
+    )
+
     def __init__(self) -> None:
         self._cond = threading.Condition()
         self._members = 0
         self._pending: List[_PendingScore] = []
         self._engines: Dict[str, Any] = {}
-        self.stats: Dict[str, int] = {
-            "flushes": 0,
-            "merged_flushes": 0,
-            "rows": 0,
-            "member_batches": 0,
-            "build_calls": 0,
-            "simulate_calls": 0,
+        self.metrics = MetricsRegistry()
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot with the legacy dict shape (all keys present)."""
+        return {
+            key: int(self.metrics.counter_value(key)) for key in self.STAT_KEYS
         }
 
     # -- membership ----------------------------------------------------------
@@ -215,13 +227,17 @@ class SwarmCoalescer:
         if len(self._pending) < self._members:
             return
         pending, self._pending = self._pending, []
-        self.stats["flushes"] += 1
-        self.stats["member_batches"] += len(pending)
-        self.stats["rows"] += sum(e.assignments.shape[0] for e in pending)
+        n_rows = sum(e.assignments.shape[0] for e in pending)
+        self.metrics.inc("flushes")
+        self.metrics.inc("member_batches", len(pending))
+        self.metrics.inc("rows", n_rows)
         if len(pending) > 1:
-            self.stats["merged_flushes"] += 1
+            self.metrics.inc("merged_flushes")
         try:
-            self._execute(pending)
+            with get_observer().span(
+                "coalescer.flush", members=len(pending), rows=n_rows
+            ):
+                self._execute(pending)
         except BaseException as exc:
             for entry in pending:
                 if entry.result is None:
@@ -244,7 +260,7 @@ class SwarmCoalescer:
         for entries in by_build.values():
             rep = entries[0].fitness
             stacked = np.vstack([e.assignments for e in entries])
-            self.stats["build_calls"] += 1
+            self.metrics.inc("build_calls")
             schedules = build_injections_batch(
                 rep.graph,
                 stacked,
@@ -266,7 +282,7 @@ class SwarmCoalescer:
         for sim_key, entries in by_sim.items():
             engine = self._engines.setdefault(sim_key, entries[0].fitness._noc)
             batch = [s for e in entries for s in e.schedules]
-            self.stats["simulate_calls"] += 1
+            self.metrics.inc("simulate_calls")
             summaries = [
                 summarize(s, engine.topology) for s in engine.simulate_many(batch)
             ]
@@ -315,13 +331,31 @@ class MappingService:
         if cache is not None and cache_dir is not None:
             raise ValueError("pass either a cache or a cache_dir, not both")
         self.cache = cache if cache is not None else ArtifactCache(cache_dir)
-        self.coalescer_stats: Dict[str, int] = {}
+        self.metrics = MetricsRegistry()
         self.requests_served = 0
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._queue: List[Tuple[MapRequest, Future]] = []
         self._worker: Optional[threading.Thread] = None
         self._closed = False
+
+    _COALESCER_PREFIX = "coalescer."
+
+    @property
+    def coalescer_stats(self) -> Dict[str, int]:
+        """Cumulative coalescer counters with the legacy dict shape.
+
+        Empty until the first coalesced group runs (so ``if
+        service.coalescer_stats:`` keeps meaning "any coalescing
+        happened"), then holds the same keys ``SwarmCoalescer.stats``
+        exposes, summed over every group served.
+        """
+        prefix = self._COALESCER_PREFIX
+        return {
+            name[len(prefix):]: int(value)
+            for name, value in self.metrics.counters().items()
+            if name.startswith(prefix)
+        }
 
     # -- synchronous serving -------------------------------------------------
 
@@ -409,6 +443,18 @@ class MappingService:
         for i, request in enumerate(requests):
             key = self._coalesce_group(request) or f"solo-{i}"
             groups.setdefault(key, []).append(i)
+        with get_observer().span(
+            "service.serve_batch", n_requests=len(requests), n_groups=len(groups)
+        ):
+            return self._serve_groups(requests, groups, results, errors)
+
+    def _serve_groups(
+        self,
+        requests: List[MapRequest],
+        groups: Dict[str, List[int]],
+        results: List[Optional[PipelineResult]],
+        errors: List[Optional[BaseException]],
+    ) -> Tuple[List[Optional[PipelineResult]], List[Optional[BaseException]]]:
 
         def serve_into(i: int, coalescer) -> None:
             try:
@@ -438,11 +484,14 @@ class MappingService:
                 t.start()
             for t in threads:
                 t.join()
-            for stat, value in coalescer.stats.items():
-                self.coalescer_stats[stat] = (
-                    self.coalescer_stats.get(stat, 0) + value
+            self.metrics.merge(coalescer.metrics, prefix=self._COALESCER_PREFIX)
+            obs = get_observer()
+            if obs.enabled:
+                obs.metrics.merge(
+                    coalescer.metrics, prefix=self._COALESCER_PREFIX
                 )
         self.requests_served += len(requests)
+        self.metrics.inc("requests_served", len(requests))
         return results, errors
 
     def _serve_one(self, request: MapRequest, coalescer) -> PipelineResult:

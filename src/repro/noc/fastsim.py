@@ -82,6 +82,7 @@ from repro.noc.routing import RoutingTable, routing_for
 from repro.noc.stats import DeliveryRecord, NocStats
 from repro.noc.topology import Topology
 from repro.noc.traffic import ColumnarSchedule, unpack_destination_bits
+from repro.obs import get_observer
 
 #: Anything ``simulate`` accepts: a row-oriented injection sequence (or
 #: an ``InjectionSchedule`` exposing ``.injections``) or the columnar
@@ -438,6 +439,22 @@ class FastInterconnect:
         the packet plan is adopted straight from the schedule's arrays
         (no per-packet Python conversion).
         """
+        obs = get_observer()
+        if not obs.enabled:
+            return self._simulate_impl(injections)
+        with obs.span("noc.simulate", backend="fast", routers=self._n) as span:
+            stats = self._simulate_impl(injections)
+            span.set(
+                n_packets=stats.n_injected,
+                delivered=stats.delivered_count,
+                cycles=stats.cycles_run,
+            )
+        obs.inc("noc.simulations", backend="fast")
+        obs.inc("noc.packets_injected", stats.n_injected)
+        obs.inc("noc.deliveries", stats.delivered_count)
+        return stats
+
+    def _simulate_impl(self, injections: ScheduleLike) -> NocStats:
         stats = FastNocStats()
         if isinstance(injections, ColumnarSchedule):
             plan = self._columnar_plan(injections, stats)
@@ -760,9 +777,17 @@ class FastInterconnect:
         stats._attach(
             (d_meta, d_dst, d_cycle, d_hops), p_meta, self._nodes, False
         )
+        obs = get_observer()
+        if obs.enabled:
+            obs.inc(
+                "noc.engine_runs", engine="c" if self._n <= 63 else "c-mw"
+            )
         return stats
 
     def _run(self, plan, stats: FastNocStats) -> FastNocStats:
+        obs = get_observer()
+        if obs.enabled:
+            obs.inc("noc.engine_runs", engine="python")
         if isinstance(plan, _ColumnarPlan):
             plan = self._legacy_plan(plan)
         inject_cycles, buckets, p_meta, p_hops, p_mask = plan

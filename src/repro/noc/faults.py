@@ -46,6 +46,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Tuple
 import networkx as nx
 
 from repro.noc.topology import Topology
+from repro.obs import get_observer
 from repro.utils.rng import SeedLike, default_rng
 
 
@@ -332,6 +333,15 @@ def apply_faults(topology: Topology, faults: FaultSet) -> Topology:
                 f"crossbar index {k} out of range "
                 f"[0, {topology.n_attach_points})"
             )
+    obs = get_observer()
+    if obs.enabled:
+        obs.inc("faults.apply_calls")
+        obs.event(
+            "fault.apply",
+            dead_links=len(faults.dead_links),
+            dead_routers=len(faults.dead_routers),
+            faulty_crossbars=len(faults.faulty_crossbars),
+        )
     if isinstance(topology, MultiChipTopology):
         return _apply_multichip(topology, faults)
     return _apply_plain(topology, faults)
@@ -419,4 +429,8 @@ def inject_random_faults(
         u, v = candidates[int(rng.integers(0, len(candidates)))]
         current = degrade_topology(current, [(u, v)])
         chosen.append((u, v))
+    obs = get_observer()
+    if obs.enabled:
+        obs.inc("faults.random_injections", len(chosen))
+        obs.event("fault.inject_random", n_faults=len(chosen))
     return current, chosen

@@ -28,6 +28,7 @@ from repro.noc.router import LOCAL_PORT, Router
 from repro.noc.routing import RoutingTable, routing_for
 from repro.noc.stats import DeliveryRecord, NocStats
 from repro.noc.topology import Topology
+from repro.obs import get_observer
 
 
 @dataclass(frozen=True)
@@ -145,6 +146,26 @@ class Interconnect:
         object exposing an ``.injections`` list (``InjectionSchedule``,
         or the columnar schedule's lazily materialized legacy view).
         """
+        obs = get_observer()
+        if not obs.enabled:
+            return self._simulate_impl(injections)
+        with obs.span(
+            "noc.simulate",
+            backend="reference",
+            routers=len(self.routers),
+        ) as span:
+            stats = self._simulate_impl(injections)
+            span.set(
+                n_packets=stats.n_injected,
+                delivered=stats.delivered_count,
+                cycles=stats.cycles_run,
+            )
+        obs.inc("noc.simulations", backend="reference")
+        obs.inc("noc.packets_injected", stats.n_injected)
+        obs.inc("noc.deliveries", stats.delivered_count)
+        return stats
+
+    def _simulate_impl(self, injections) -> NocStats:
         if hasattr(injections, "injections"):
             injections = injections.injections
         stats = NocStats()

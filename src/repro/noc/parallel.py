@@ -13,9 +13,10 @@ across a :class:`concurrent.futures.ProcessPoolExecutor`:
   tables, and the per-process ctypes C kernel, on arrival) and stores it
   in a process-global, so every chunk reuses the same tables;
 - **chunks carry their batch offset** — each work item is ``(start,
-  schedules)`` and each result is ``(start, summaries)``, so results are
-  reassembled by index and the output is invariant to worker count,
-  chunk size and completion order;
+  schedules, collect_metrics)`` and each result is ``(start, summaries,
+  counter_deltas)``, so results are reassembled by index and the output
+  is invariant to worker count, chunk size and completion order (the
+  deltas only feed the observability registry, never the summaries);
 - **results are columnar summaries** — workers return one compact
   :class:`ScheduleSummary` per schedule (hop totals, latency sums,
   delivery counts, ...) instead of full delivery records, keeping the
@@ -55,6 +56,8 @@ from repro.noc.routing import RoutingTable
 from repro.noc.stats import NocStats
 from repro.noc.topology import Topology
 from repro.noc.traffic import ColumnarSchedule
+from repro.obs import get_observer, observe
+from repro.obs.metrics import MetricsRegistry
 
 WorkersSpec = Union[int, str, None]
 
@@ -184,14 +187,25 @@ def _init_worker(sim: FastInterconnect) -> None:
 
 
 def _run_chunk(
-    task: Tuple[int, List[ScheduleLike]],
-) -> Tuple[int, List[ScheduleSummary]]:
-    """Simulate one chunk of schedules; tag results with the batch offset."""
-    start, schedules = task
+    task: Tuple[int, List[ScheduleLike], bool],
+) -> Tuple[int, List[ScheduleSummary], Optional[list]]:
+    """Simulate one chunk of schedules; tag results with the batch offset.
+
+    When the parent asked for metrics (``collect``), the chunk runs
+    under a fresh worker-local registry and its counter deltas ship back
+    with the summaries, so parallel runs aggregate exactly like serial
+    ones.  Either way the parent's observer never leaks in: a forked
+    worker would otherwise record spans nobody can collect.
+    """
+    start, schedules, collect = task
     sim = _WORKER_SIM
-    return start, [
-        summarize(s, sim.topology) for s in sim.simulate_many(schedules)
-    ]
+    registry: Union[MetricsRegistry, bool] = MetricsRegistry() if collect else False
+    with observe(tracer=False, metrics=registry):
+        summaries = [
+            summarize(s, sim.topology) for s in sim.simulate_many(schedules)
+        ]
+    deltas = registry.counter_deltas() if collect else None
+    return start, summaries, deltas
 
 
 # -- parent side -------------------------------------------------------------
@@ -261,12 +275,16 @@ class ParallelNocSimulator:
         )
 
     def _mark_broken(self, exc: BaseException) -> None:
-        warnings.warn(
+        # Warn with an *instance* whose __cause__ is the pool failure:
+        # daemon logs (and warning filters capturing the message) see
+        # why the pool degraded, not just that it did.
+        warning = RuntimeWarning(
             f"parallel NoC scoring unavailable ({exc!r}); "
-            "falling back to serial simulation",
-            RuntimeWarning,
-            stacklevel=4,
+            "falling back to serial simulation"
         )
+        warning.__cause__ = exc
+        warnings.warn(warning, stacklevel=4)
+        get_observer().inc("noc.parallel.fallbacks", error=type(exc).__name__)
         self._pool_broken = True
         self.close()
 
@@ -292,8 +310,8 @@ class ParallelNocSimulator:
     # -- execution -----------------------------------------------------------
 
     def _chunks(
-        self, schedules: Sequence[ScheduleLike]
-    ) -> Iterator[Tuple[int, List[ScheduleLike]]]:
+        self, schedules: Sequence[ScheduleLike], collect: bool
+    ) -> Iterator[Tuple[int, List[ScheduleLike], bool]]:
         size = self.chunk_size
         if size is None:
             size = max(1, -(-len(schedules) // (4 * self.workers)))
@@ -301,7 +319,7 @@ class ParallelNocSimulator:
             yield start, [
                 s if isinstance(s, ColumnarSchedule) else list(s)
                 for s in schedules[start : start + size]
-            ]
+            ], collect
 
     def _summarize_serial(
         self, schedules: Sequence[ScheduleLike]
@@ -321,21 +339,31 @@ class ParallelNocSimulator:
         whichever path executed.
         """
         schedules = list(schedules)
+        obs = get_observer()
         if self.workers <= 1 or self._pool_broken or len(schedules) <= 1:
             return self._summarize_serial(schedules)
         try:
             if self._pool is None:
                 self._pool = self._start_pool()
-            futures = [
-                self._pool.submit(_run_chunk, task)
-                for task in self._chunks(schedules)
-            ]
-            out: List[Optional[ScheduleSummary]] = [None] * len(schedules)
-            # Drain in completion order on purpose: reassembly must not
-            # depend on which worker finished first.
-            for future in as_completed(futures):
-                start, summaries = future.result()
-                out[start : start + len(summaries)] = summaries
+            collect = obs.metrics.enabled
+            with obs.span(
+                "noc.parallel.batch",
+                workers=self.workers,
+                n_schedules=len(schedules),
+            ):
+                futures = [
+                    self._pool.submit(_run_chunk, task)
+                    for task in self._chunks(schedules, collect)
+                ]
+                out: List[Optional[ScheduleSummary]] = [None] * len(schedules)
+                # Drain in completion order on purpose: reassembly must
+                # not depend on which worker finished first.
+                for future in as_completed(futures):
+                    start, summaries, deltas = future.result()
+                    out[start : start + len(summaries)] = summaries
+                    if deltas:
+                        obs.metrics.merge_counters(deltas)
+            obs.inc("noc.parallel.batches")
             return out
         except Exception as exc:
             # Pools fail in creative ways under sandboxes (PermissionError

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.noc.packet import Injection
 from repro.noc.topology import Topology
+from repro.obs import get_observer
 from repro.snn.graph import SpikeGraph
 from repro.utils.validation import check_positive
 
@@ -350,6 +351,33 @@ def build_injections_batch(
     gathers the shared spike columns.
     """
     check_positive("cycles_per_ms", cycles_per_ms)
+    obs = get_observer()
+    if not obs.enabled:
+        return _build_injections_batch_impl(
+            graph, assignments, topology, cycles_per_ms
+        )
+    with obs.span(
+        "traffic.build_injections_batch", graph=graph.name
+    ) as span:
+        out = _build_injections_batch_impl(
+            graph, assignments, topology, cycles_per_ms
+        )
+        span.set(
+            n_schedules=len(out),
+            n_packets=sum(s.n_packets for s in out),
+        )
+    obs.inc("traffic.build_calls")
+    obs.inc("traffic.schedules_built", len(out))
+    obs.inc("traffic.packets_built", sum(s.n_packets for s in out))
+    return out
+
+
+def _build_injections_batch_impl(
+    graph: SpikeGraph,
+    assignments: np.ndarray,
+    topology: Topology,
+    cycles_per_ms: float,
+) -> List[ColumnarSchedule]:
     a = np.asarray(assignments, dtype=np.int64)
     if a.ndim == 1:
         a = a[None, :]

@@ -36,6 +36,12 @@ PUBLIC_SURFACE = {
         "disorder_fraction", "isi_distortion_mean", "MetricReport",
         "build_report", "congestion_report", "bottleneck_links",
     ],
+    "repro.obs": [
+        "Observer", "Tracer", "Span", "MetricsRegistry", "get_observer",
+        "observe", "set_observer", "write_trace_jsonl", "read_trace_jsonl",
+        "load_trace_tree", "prometheus_text", "write_metrics_text",
+        "span_tree_summary",
+    ],
     "repro.framework": [
         "run_pipeline", "explore_architecture", "explore_swarm_size",
         "reproduce", "delivered_spike_trains", "perceived_spike_trains",
