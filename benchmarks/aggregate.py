@@ -31,6 +31,7 @@ EXPECTED_LEGS = (
     "fault_tolerance",
     "service_bench",
     "obs_overhead",
+    "threaded_batch",
 )
 
 

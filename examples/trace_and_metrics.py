@@ -6,8 +6,10 @@ changes when it is on except that you can see inside it.  This example
 tours the three surfaces:
 
 1. a traced end-to-end ``run_pipeline`` — nested wall-clock spans down
-   to PSO iterations and the NoC engine, summarized as a tree and
-   exported as a JSONL trace;
+   to PSO iterations and the NoC engine (including the threaded batch
+   kernel's ``noc.simulate_batch`` span with its thread count, here
+   requested via ``threads=2`` — the CLI knob is ``--threads``),
+   summarized as a tree and exported as a JSONL trace;
 2. the Prometheus-style metrics snapshot the same run accumulated
    (simulation counts per backend, packets, cache traffic, ...);
 3. live service counters from a coalesced ``MappingService`` batch.
@@ -41,10 +43,13 @@ def main() -> None:
     ncfg = NocConfig(backend="fast")
 
     # -- 1. a traced pipeline run -----------------------------------------
+    # threads=2 routes swarm scoring through the threaded batch kernel
+    # (one GIL-free C call per generation, bit-identical to serial);
+    # its noc.simulate_batch spans appear in the trace below.
     with observe() as obs:
         result = run_pipeline(graph, arch, method="pso", seed=1,
                               pso_config=pso, objective="noc",
-                              noc_config=ncfg)
+                              noc_config=ncfg, threads=2)
     print(result.mapping.describe())
     print()
     print("Span tree (wall-clock breakdown):")

@@ -73,6 +73,13 @@ class InterconnectFitness:
         if the pool cannot start (sandboxed CI), scoring falls back to
         serial with a warning.  Call :meth:`close` (or use the instance
         as a context manager) to release the pool.
+    threads:
+        Thread cap for the compiled batch kernel in ``noc_in_loop``
+        mode (``None`` defers to ``REPRO_NOC_THREADS``, ``0`` disables
+        it).  When the kernel was built with OpenMP, whole swarm
+        batches run in one GIL-free C call across cores — preferred
+        over the process pool when both are available, bit-identical
+        either way.
     cache:
         An :class:`~repro.framework.artifacts.ArtifactCache` for derived
         artifacts (the crossbar hop matrix, the default routing table of
@@ -99,6 +106,7 @@ class InterconnectFitness:
         noc_config=None,
         cycles_per_ms: float = 10.0,
         workers=1,
+        threads=None,
         cache=None,
         coalescer=None,
     ) -> None:
@@ -144,6 +152,7 @@ class InterconnectFitness:
             self.workers = resolve_workers(workers)
         else:
             self.workers = 1
+        self.threads = threads
 
     def close(self) -> None:
         """Release the worker pool, if batch scoring ever started one."""
@@ -292,13 +301,15 @@ class InterconnectFitness:
         if self.workers > 1:
             if self._parallel is None:
                 self._parallel = ParallelNocSimulator(
-                    self._noc, workers=self.workers
+                    self._noc, workers=self.workers, threads=self.threads
                 )
             summaries = self._parallel.summarize_many(schedules)
         else:
             summaries = [
                 summarize(s, self.topology)
-                for s in self._noc.simulate_many(schedules)
+                for s in self._noc.simulate_many(
+                    schedules, threads=self.threads
+                )
             ]
         return np.asarray(
             [self._score(s) for s in summaries], dtype=np.float64

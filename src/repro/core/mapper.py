@@ -85,6 +85,7 @@ def map_snn(
     placement: bool = True,
     objective: str = "packets",
     workers=1,
+    threads=None,
     noc_config=None,
     cache=None,
     coalescer=None,
@@ -122,6 +123,11 @@ def map_snn(
         Worker processes for the ``"noc"`` objective's swarm scoring
         (``1`` = serial, ``0``/``"auto"`` = one per CPU; ignored by the
         closed-form objectives, which are already vectorized).
+    threads:
+        Thread cap for the ``"noc"`` objective's compiled batch kernel
+        (``None`` defers to ``REPRO_NOC_THREADS``; ``0`` disables it).
+        Like ``workers``, excluded from the memo token — thread counts
+        never change results.
     noc_config:
         Interconnect parameters the ``"noc"`` objective simulates under
         (backend forced to "fast").  Pass the same config the final
@@ -227,6 +233,7 @@ def map_snn(
                     cycles_per_ms=architecture.cycles_per_ms,
                     noc_config=noc_config,
                     workers=workers,
+                    threads=threads,
                     cache=cache,
                     coalescer=coalescer,
                 )
@@ -380,6 +387,7 @@ def compare_methods(
     pso_config: Optional[PSOConfig] = None,
     objective: str = "packets",
     workers=1,
+    threads=None,
     noc_config=None,
     cache=None,
 ) -> Dict[str, MappingResult]:
@@ -399,8 +407,8 @@ def compare_methods(
     return {
         m: map_snn(
             graph, architecture, method=m, seed=seed, pso_config=pso_config,
-            objective=objective, workers=workers, noc_config=noc_config,
-            cache=cache,
+            objective=objective, workers=workers, threads=threads,
+            noc_config=noc_config, cache=cache,
         )
         for m in methods
     }

@@ -36,6 +36,7 @@ import os
 import pickle
 import tempfile
 import threading
+from collections import OrderedDict
 from dataclasses import fields, is_dataclass
 from typing import Any, Callable, Dict, Mapping, Optional
 
@@ -274,6 +275,14 @@ class ArtifactCache:
         opt in (``persist=True``) are written to disk — cheap-to-pickle,
         expensive-to-derive things like routing tables, hop matrices and
         mapping results; simulation statistics stay in-memory.
+    max_entries:
+        Bound on the in-memory layer.  ``None`` (default) keeps every
+        entry, preserving the historical unbounded behaviour; ``N >= 1``
+        keeps the N most recently used entries and evicts the least
+        recently used beyond that (counted in ``stats["evictions"]``).
+        Eviction only drops the memory copy — persisted entries are
+        still served from disk, and any entry can be rebuilt, so a
+        bounded cache changes memory footprint, never results.
 
     Notes
     -----
@@ -284,9 +293,16 @@ class ArtifactCache:
     a cache *problem* into a serving failure.
     """
 
-    def __init__(self, cache_dir: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
         self.cache_dir = None if cache_dir is None else str(cache_dir)
-        self._mem: Dict[str, Any] = {}
+        if max_entries is not None and int(max_entries) < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = None if max_entries is None else int(max_entries)
+        self._mem: "OrderedDict[str, Any]" = OrderedDict()
         self._lock = threading.RLock()
         self.stats: Dict[str, int] = {
             "hits": 0,
@@ -294,6 +310,7 @@ class ArtifactCache:
             "disk_hits": 0,
             "corrupt_discarded": 0,
             "stores": 0,
+            "evictions": 0,
         }
 
     # -- generic store -------------------------------------------------------
@@ -348,12 +365,29 @@ class ArtifactCache:
         except Exception:
             pass  # a cache that cannot persist still serves from memory
 
+    def _remember(self, key: str, value: Any) -> int:
+        """Insert into the memory layer (LRU position: newest).
+
+        Returns how many older entries were evicted to stay within
+        ``max_entries``; must be called with the lock held.
+        """
+        self._mem[key] = value
+        self._mem.move_to_end(key)
+        evicted = 0
+        if self.max_entries is not None:
+            while len(self._mem) > self.max_entries:
+                self._mem.popitem(last=False)
+                evicted += 1
+        self.stats["evictions"] += evicted
+        return evicted
+
     def get(self, key: str):
         """``(found, value)`` for a key, consulting memory then disk."""
         obs = get_observer()
         with self._lock:
             if key in self._mem:
                 self.stats["hits"] += 1
+                self._mem.move_to_end(key)  # freshen LRU position
                 if obs.enabled:
                     obs.inc("cache.hits", layer="memory")
                 return True, self._mem[key]
@@ -361,11 +395,13 @@ class ArtifactCache:
             found, value = self._load_disk(key)
             if found:
                 with self._lock:
-                    self._mem[key] = value
+                    evicted = self._remember(key, value)
                     self.stats["hits"] += 1
                     self.stats["disk_hits"] += 1
                 if obs.enabled:
                     obs.inc("cache.hits", layer="disk")
+                    if evicted:
+                        obs.inc("cache.evictions", value=evicted)
                 return True, value
         with self._lock:
             self.stats["misses"] += 1
@@ -375,11 +411,13 @@ class ArtifactCache:
 
     def put(self, key: str, value: Any, persist: bool = False) -> None:
         with self._lock:
-            self._mem[key] = value
+            evicted = self._remember(key, value)
             self.stats["stores"] += 1
         obs = get_observer()
         if obs.enabled:
             obs.inc("cache.stores", persist=bool(persist))
+            if evicted:
+                obs.inc("cache.evictions", value=evicted)
         if persist and self.cache_dir is not None:
             self._store_disk(key, value)
 

@@ -105,6 +105,14 @@ def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _parse_threads(value: str) -> int:
+    """--threads value: an int, or 'auto' meaning one thread per core."""
+    v = value.strip().lower()
+    if v == "auto":
+        return -1
+    return int(v)
+
+
 def _add_pso_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--particles", type=int, default=100)
     parser.add_argument("--iterations", type=int, default=50)
@@ -117,6 +125,13 @@ def _add_pso_arguments(parser: argparse.ArgumentParser) -> None:
         "--workers", default=1, type=resolve_workers,
         help="worker processes for --objective noc swarm scoring "
              "(1 = serial, 0 or 'auto' = one per CPU)",
+    )
+    parser.add_argument(
+        "--threads", default=None, type=_parse_threads,
+        help="thread cap for the compiled batch NoC kernel in "
+             "--objective noc swarm scoring ('auto' = one per core, "
+             "0 = disable the threaded batch path; default defers to "
+             "REPRO_NOC_THREADS)",
     )
 
 
@@ -223,6 +238,7 @@ def _cmd_map(args) -> int:
         noc_config=NocConfig(backend=args.noc_backend),
         objective=args.objective,
         workers=args.workers,
+        threads=args.threads,
         faults=args.faults,
         fault_seed=args.fault_seed,
         cache=_build_cache(args),
@@ -261,6 +277,7 @@ def _cmd_compare(args) -> int:
                              n_iterations=args.iterations),
         objective=args.objective,
         workers=args.workers,
+        threads=args.threads,
         cache=_build_cache(args),
     )
     rows = [
@@ -317,7 +334,8 @@ def _cmd_explore(args) -> int:
             lambda i, size: architecture_point(
                 graph, base, size, i, method=args.method, seed=args.seed,
                 pso_config=pso_config, noc_config=noc_config,
-                objective=args.objective, workers=args.workers, cache=cache,
+                objective=args.objective, workers=args.workers,
+                threads=args.threads, cache=cache,
             ),
             campaign=f"explore-{args.app}",
             fingerprint=(args.app, args.seed, tuple(args.sizes),
@@ -331,6 +349,7 @@ def _cmd_explore(args) -> int:
             noc_config=noc_config,
             objective=args.objective,
             workers=args.workers,
+            threads=args.threads,
             cache=cache,
         )
     rows = [
@@ -361,7 +380,8 @@ def _explore_chip_counts(args, graph) -> int:
             lambda i, chips: chip_point(
                 graph, base, chips, i, method=args.method, seed=args.seed,
                 pso_config=pso_config, noc_config=noc_config,
-                objective=args.objective, workers=args.workers, cache=cache,
+                objective=args.objective, workers=args.workers,
+                threads=args.threads, cache=cache,
             ),
             campaign=f"explore-chips-{args.app}",
             fingerprint=(args.app, args.seed, tuple(args.chip_counts),
@@ -375,6 +395,7 @@ def _explore_chip_counts(args, graph) -> int:
             noc_config=noc_config,
             objective=args.objective,
             workers=args.workers,
+            threads=args.threads,
             cache=cache,
         )
     rows = [
@@ -417,6 +438,7 @@ _SERVE_DEFAULTS = {
     "fault_seed": None,
     "warm": False,
     "workers": 1,
+    "threads": None,
 }
 
 
@@ -468,6 +490,7 @@ def _cmd_serve(args) -> int:
                 noc_config=NocConfig(backend=ns.noc_backend),
                 objective=ns.objective,
                 workers=ns.workers,
+                threads=ns.threads,
                 faults=ns.faults,
                 fault_seed=ns.fault_seed,
                 warm=bool(ns.warm),

@@ -91,6 +91,7 @@ def architecture_point(
     noc_config: Optional[NocConfig] = None,
     objective: str = "packets",
     workers=1,
+    threads=None,
     cache=None,
 ) -> ArchitecturePoint:
     """One Fig. 6 sweep point: crossbar size ``size`` at sweep ``index``.
@@ -109,6 +110,7 @@ def architecture_point(
         noc_config=noc_config,
         objective=objective,
         workers=workers,
+        threads=threads,
         cache=cache,
     )
     report = result.report
@@ -133,6 +135,7 @@ def explore_architecture(
     noc_config: Optional[NocConfig] = None,
     objective: str = "packets",
     workers=1,
+    threads=None,
     cache=None,
 ) -> List[ArchitecturePoint]:
     """Fig. 6: vary crossbar size, keep the application fixed.
@@ -156,6 +159,7 @@ def explore_architecture(
             noc_config=noc_config,
             objective=objective,
             workers=workers,
+            threads=threads,
             cache=cache,
         )
         for i, size in enumerate(crossbar_sizes)
@@ -174,6 +178,7 @@ def chip_point(
     noc_config: Optional[NocConfig] = None,
     objective: str = "packets",
     workers=1,
+    threads=None,
     cache=None,
 ) -> ChipPoint:
     """One chip-count sweep point (see :func:`explore_chips`)."""
@@ -187,6 +192,7 @@ def chip_point(
         noc_config=noc_config,
         objective=objective,
         workers=workers,
+        threads=threads,
         cache=cache,
     )
     report = result.report
@@ -217,6 +223,7 @@ def explore_chips(
     noc_config: Optional[NocConfig] = None,
     objective: str = "packets",
     workers=1,
+    threads=None,
     cache=None,
 ) -> List[ChipPoint]:
     """Sweep how many chips the platform's crossbars are spread across.
@@ -240,6 +247,7 @@ def explore_chips(
             noc_config=noc_config,
             objective=objective,
             workers=workers,
+            threads=threads,
             cache=cache,
         )
         for i, chips in enumerate(chip_counts)

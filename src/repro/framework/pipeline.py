@@ -65,6 +65,7 @@ def run_pipeline(
     simulate_noc: bool = True,
     objective: str = "packets",
     workers=1,
+    threads=None,
     faults: int = 0,
     fault_seed: SeedLike = None,
     cache=None,
@@ -94,6 +95,10 @@ def run_pipeline(
     workers:
         Worker processes for "noc"-objective swarm scoring (``1`` =
         serial, ``0``/``"auto"`` = one per CPU).
+    threads:
+        Thread cap for the compiled batch kernel in "noc"-objective
+        swarm scoring (``None`` defers to ``REPRO_NOC_THREADS``; ``0``
+        disables the threaded batch path).
     faults:
         Random survivable link faults to inject into the built
         topology (:func:`~repro.noc.faults.inject_random_faults`)
@@ -158,8 +163,8 @@ def run_pipeline(
         mapping = map_snn(
             graph, architecture, method=method, seed=seed,
             pso_config=pso_config, objective=objective, workers=workers,
-            noc_config=noc_config, cache=cache, coalescer=coalescer,
-            warm_seeds=warm_seeds,
+            threads=threads, noc_config=noc_config, cache=cache,
+            coalescer=coalescer, warm_seeds=warm_seeds,
         )
         with obs.span("pipeline.build_topology"):
             if cache is not None:

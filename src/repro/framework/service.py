@@ -88,6 +88,7 @@ class MapRequest:
     objective: str = "packets"
     simulate_noc: bool = True
     workers: Any = 1
+    threads: Any = None
     faults: int = 0
     fault_seed: SeedLike = None
     warm: bool = False
@@ -327,10 +328,20 @@ class MappingService:
         self,
         cache: Optional[ArtifactCache] = None,
         cache_dir: Optional[str] = None,
+        max_entries: Optional[int] = None,
     ) -> None:
         if cache is not None and cache_dir is not None:
             raise ValueError("pass either a cache or a cache_dir, not both")
-        self.cache = cache if cache is not None else ArtifactCache(cache_dir)
+        if cache is not None and max_entries is not None:
+            raise ValueError(
+                "max_entries only applies to a service-owned cache; "
+                "bound the passed cache at construction instead"
+            )
+        self.cache = (
+            cache
+            if cache is not None
+            else ArtifactCache(cache_dir, max_entries=max_entries)
+        )
         self.metrics = MetricsRegistry()
         self.requests_served = 0
         self._lock = threading.Lock()
@@ -512,6 +523,7 @@ class MappingService:
             simulate_noc=request.simulate_noc,
             objective=request.objective,
             workers=request.workers,
+            threads=request.threads,
             faults=request.faults,
             fault_seed=request.fault_seed,
             cache=self.cache,

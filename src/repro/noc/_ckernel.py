@@ -2,12 +2,22 @@
 
 The deterministic-routing hot loop of the fast backend has a C
 transcription in ``_fastsim_kernel.c``.  When a C compiler is available
-the kernel is built once (into the package directory, rebuilt only when
-the source changes) and loaded through :mod:`ctypes`; when it is not —
-or when ``REPRO_NOC_NO_CKERNEL`` (or the shorter CI alias
-``REPRO_NO_CKERNEL``) is set — :func:`load_kernel` returns ``None`` and
-the pure-Python engine runs instead.  No extra Python dependencies are
-involved either way.
+the kernel is built once (into the package directory, rebuilt when the
+source *or the compile flag set* changes) and loaded through
+:mod:`ctypes`; when it is not — or when ``REPRO_NOC_NO_CKERNEL`` (or
+the shorter CI alias ``REPRO_NO_CKERNEL``) is set — :func:`load_kernel`
+returns ``None`` and the pure-Python engine runs instead.  No extra
+Python dependencies are involved either way.
+
+The kernel is built with ``-fopenmp`` when the compiler supports it
+(probed with a throwaway compile, falling back to a serial build
+otherwise) so the batch entry points can run the schedules of a
+``simulate_many`` batch on multiple cores.  The flag set actually used
+is stamped next to the artifact (``_fastsim_kernel.so.flags``) and
+compared on every load: a cached no-OpenMP build no longer shadows a
+compiler upgrade, and ``REPRO_NOC_NO_OPENMP=1`` forces a serial
+rebuild for fallback testing.  ``REPRO_NOC_THREADS`` caps the batch
+thread count (``0`` disables the batch path entirely).
 """
 
 from __future__ import annotations
@@ -15,10 +25,14 @@ from __future__ import annotations
 import ctypes
 import os
 import subprocess
-from typing import Optional
+import tempfile
+from typing import List, Optional
 
 _SRC = os.path.join(os.path.dirname(__file__), "_fastsim_kernel.c")
 _SO = os.path.join(os.path.dirname(__file__), "_fastsim_kernel.so")
+
+_BASE_FLAGS = ("-O2", "-shared", "-fPIC")
+_OMP_FLAG = "-fopenmp"
 
 _i32p = ctypes.POINTER(ctypes.c_int32)
 _i64p = ctypes.POINTER(ctypes.c_int64)
@@ -67,23 +81,137 @@ _ARGTYPES = [
 # mask-carrying pointers then address n_words uint64 per entry.
 _ARGTYPES_MW = _ARGTYPES[:1] + [ctypes.c_int32] + _ARGTYPES[1:]
 
+# Batch entry points: shared tables once, then CSR-concatenated
+# per-schedule arrays (see the comment above nocsim_run_batch in the
+# C source for the exact layout).
+_ARGTYPES_BATCH = [
+    ctypes.c_int32,  # n_routers
+    ctypes.c_int32,  # n_flat_ports
+    _i32p,           # port_base
+    _i32p,           # nports
+    _i32p,           # deg_off
+    _i32p,           # nbr
+    _u64p,           # out_mask
+    _i32p,           # out_gp
+    _i32p,           # out_eidx
+    ctypes.c_int32,  # capacity
+    ctypes.c_int32,  # ej_max
+    ctypes.c_int32,  # n_edges
+    ctypes.c_int64,  # n_schedules
+    _i64p,           # pk_off [S+1]
+    _u64p,           # pk_mask (concatenated)
+    _i32p,           # pk_srcgp (concatenated)
+    _i64p,           # bk_off [S+1]
+    _i64p,           # bucket_cycle (concatenated)
+    _i64p,           # bucket_off (concatenated, slice s at bk_off[s]+s)
+    _i32p,           # bucket_pid (concatenated, schedule-local pids)
+    _i64p,           # deadline [S]
+    ctypes.c_int32,  # n_threads
+    _i64p,           # link_counts [S * n_edges]
+    _i32p,           # peaks [S * n_flat_ports]
+]
+
+_ARGTYPES_BATCH_MW = _ARGTYPES_BATCH[:1] + [ctypes.c_int32] + _ARGTYPES_BATCH[1:]
+
 _cached: Optional[ctypes.CDLL] = None
 _load_attempted = False
 
 
+def _stamp_path() -> str:
+    return _SO + ".flags"
+
+
+def _read_stamp() -> Optional[str]:
+    try:
+        with open(_stamp_path()) as fh:
+            return fh.read().strip()
+    except OSError:
+        return None
+
+
+def _write_stamp(flags: List[str]) -> None:
+    tmp = f"{_stamp_path()}.{os.getpid()}.tmp"
+    try:
+        with open(tmp, "w") as fh:
+            fh.write(" ".join(flags) + "\n")
+        os.replace(tmp, _stamp_path())  # atomic publish
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def _openmp_supported() -> bool:
+    """Whether gcc can build the kernel with ``-fopenmp``.
+
+    A stamp recording an OpenMP build short-circuits the probe (the
+    compiler built it once already; a later failure falls back inside
+    :func:`_build` anyway).  Otherwise a throwaway compile answers.
+    """
+    stamp = _read_stamp()
+    if stamp is not None and _OMP_FLAG in stamp.split():
+        return True
+    probe_src = "#include <omp.h>\nint probe(void){return omp_get_max_threads();}\n"
+    try:
+        with tempfile.TemporaryDirectory() as tmpdir:
+            src = os.path.join(tmpdir, "probe.c")
+            out = os.path.join(tmpdir, "probe.so")
+            with open(src, "w") as fh:
+                fh.write(probe_src)
+            subprocess.run(
+                ["gcc", *_BASE_FLAGS, _OMP_FLAG, "-o", out, src],
+                check=True,
+                capture_output=True,
+                timeout=60,
+            )
+        return True
+    except Exception:
+        return False
+
+
+def _desired_flags() -> List[str]:
+    flags = list(_BASE_FLAGS)
+    if not os.environ.get("REPRO_NOC_NO_OPENMP") and _openmp_supported():
+        flags.append(_OMP_FLAG)
+    return flags
+
+
+def _stale() -> bool:
+    """True when the artifact must be (re)built."""
+    if not os.path.exists(_SO):
+        return True
+    if os.path.getmtime(_SO) < os.path.getmtime(_SRC):
+        return True
+    # Flag changes (OpenMP toggled, compiler gained -fopenmp support)
+    # must rebuild too — mtime alone cannot see them.
+    return _read_stamp() != " ".join(_desired_flags())
+
+
 def _build() -> None:
+    flags = _desired_flags()
     # Per-process temp name: concurrent builders (pytest-xdist workers,
     # future swarm shards) must not write into one shared path, or a
     # half-written .so could be published and then cached forever.
     tmp = f"{_SO}.{os.getpid()}.tmp"
     try:
-        subprocess.run(
-            ["gcc", "-O2", "-shared", "-fPIC", "-o", tmp, _SRC],
-            check=True,
-            capture_output=True,
-            timeout=120,
-        )
+        try:
+            subprocess.run(
+                ["gcc", *flags, "-o", tmp, _SRC],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+        except (subprocess.CalledProcessError, subprocess.TimeoutExpired):
+            if _OMP_FLAG not in flags:
+                raise
+            flags = [f for f in flags if f != _OMP_FLAG]
+            subprocess.run(
+                ["gcc", *flags, "-o", tmp, _SRC],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
         os.replace(tmp, _SO)  # atomic publish
+        _write_stamp(flags)
     finally:
         if os.path.exists(tmp):
             os.unlink(tmp)
@@ -97,6 +225,46 @@ def kernel_disabled() -> bool:
     )
 
 
+def resolve_threads(requested: Optional[int] = None) -> int:
+    """Effective thread count for the batch kernel.
+
+    ``requested`` wins when given; otherwise ``REPRO_NOC_THREADS`` is
+    consulted.  Unset / ``auto`` / negative means one thread per core;
+    ``N >= 1`` caps the team at N; ``0`` disables the batch path
+    entirely (callers fall back to per-schedule calls).
+    """
+    if requested is None:
+        raw = os.environ.get("REPRO_NOC_THREADS", "").strip().lower()
+        if raw in ("", "auto"):
+            requested = -1
+        else:
+            try:
+                requested = int(raw)
+            except ValueError:
+                requested = -1
+    requested = int(requested)
+    if requested == 0:
+        return 0
+    if requested < 0:
+        return os.cpu_count() or 1
+    return requested
+
+
+def openmp_enabled(lib: Optional[ctypes.CDLL] = None) -> bool:
+    """True when the loaded kernel was compiled with OpenMP."""
+    if lib is None:
+        lib = load_kernel()
+    if lib is None:
+        return False
+    fn = getattr(lib, "_repro_openmp", None)
+    return bool(fn)
+
+
+def has_batch(lib: Optional[ctypes.CDLL]) -> bool:
+    """True when the loaded kernel exposes the batch entry points."""
+    return bool(lib is not None and getattr(lib, "_repro_has_batch", False))
+
+
 def load_kernel() -> Optional[ctypes.CDLL]:
     """Compile (if needed) and load the C kernel, or ``None``."""
     global _cached, _load_attempted
@@ -106,10 +274,7 @@ def load_kernel() -> Optional[ctypes.CDLL]:
     if kernel_disabled():
         return None
     try:
-        if (
-            not os.path.exists(_SO)
-            or os.path.getmtime(_SO) < os.path.getmtime(_SRC)
-        ):
+        if _stale():
             _build()
         lib = ctypes.CDLL(_SO)
         lib.nocsim_run.argtypes = _ARGTYPES
@@ -120,6 +285,24 @@ def load_kernel() -> Optional[ctypes.CDLL]:
         lib.nocsim_run_mw.restype = ctypes.POINTER(KernelResult)
         lib.nocsim_free.argtypes = [ctypes.POINTER(KernelResult)]
         lib.nocsim_free.restype = None
+        try:
+            lib.nocsim_run_batch.argtypes = _ARGTYPES_BATCH
+            lib.nocsim_run_batch.restype = ctypes.POINTER(KernelResult)
+            lib.nocsim_run_batch_mw.argtypes = _ARGTYPES_BATCH_MW
+            lib.nocsim_run_batch_mw.restype = ctypes.POINTER(KernelResult)
+            lib.nocsim_free_batch.argtypes = [
+                ctypes.POINTER(KernelResult),
+                ctypes.c_int64,
+            ]
+            lib.nocsim_free_batch.restype = None
+            lib.nocsim_openmp.argtypes = []
+            lib.nocsim_openmp.restype = ctypes.c_int32
+            lib._repro_has_batch = True
+            lib._repro_openmp = bool(lib.nocsim_openmp())
+        except AttributeError:
+            # Pre-batch .so: single-schedule entries still work.
+            lib._repro_has_batch = False
+            lib._repro_openmp = False
         _cached = lib
     except Exception:
         _cached = None

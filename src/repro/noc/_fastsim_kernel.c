@@ -28,11 +28,24 @@
  * ids) and the packet pool columns; the kernel returns the delivery
  * log (meta index, destination router, cycle, hop count), per-edge
  * link loads, per-port peak occupancies and the cycle count.
+ *
+ * Batch entry points (nocsim_run_batch / nocsim_run_batch_mw) take the
+ * shared network tables once plus concatenated per-schedule packet and
+ * bucket arrays (CSR-style offsets) and run every schedule of a
+ * simulate_many batch in one call — parallel over independent
+ * schedules with OpenMP when compiled with -fopenmp, a plain serial
+ * loop otherwise.  Each schedule writes into its own Result slab and
+ * its own link_counts/peaks slices, so the output is bit-identical to
+ * the serial per-schedule path regardless of thread count.
  */
 
 #include <stdint.h>
 #include <stdlib.h>
 #include <string.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 typedef struct {
     int32_t *a;
@@ -156,7 +169,11 @@ typedef struct {
     int32_t pid;
 } Staged;
 
-Result *nocsim_run(
+/* One schedule, single-word masks.  Fills a caller-provided zeroed
+ * Result; shared tables are read-only so concurrent calls on disjoint
+ * Results/outputs are safe. */
+static void run_single(
+    Result *res,
     /* topology tables */
     int32_t n_routers,
     int32_t n_flat_ports,
@@ -184,9 +201,6 @@ Result *nocsim_run(
     int64_t *link_counts,       /* [n_edges], zeroed by host */
     int32_t *peaks              /* [n_flat_ports], zeroed by host */
 ) {
-    Result *res = (Result *)calloc(1, sizeof(Result));
-    if (!res) return NULL;
-
     Fifo *bufs = (Fifo *)calloc((size_t)n_flat_ports, sizeof(Fifo));
     int32_t *qcount = (int32_t *)calloc((size_t)n_routers, sizeof(int32_t));
     int32_t *gp_owner = (int32_t *)malloc((size_t)n_flat_ports * sizeof(int32_t));
@@ -367,6 +381,37 @@ cleanup:
     free(dlog.dst);
     free(dlog.cycle);
     free(dlog.hops);
+}
+
+Result *nocsim_run(
+    int32_t n_routers,
+    int32_t n_flat_ports,
+    const int32_t *port_base,
+    const int32_t *nports,
+    const int32_t *deg_off,
+    const int32_t *nbr,
+    const uint64_t *out_mask,
+    const int32_t *out_gp,
+    const int32_t *out_eidx,
+    int32_t capacity,
+    int32_t ej_max,
+    int64_t deadline,
+    int64_t n_packets,
+    const uint64_t *pk_mask,
+    const int32_t *pk_srcgp,
+    int64_t n_buckets,
+    const int64_t *bucket_cycle,
+    const int64_t *bucket_off,
+    const int32_t *bucket_pid,
+    int64_t *link_counts,
+    int32_t *peaks
+) {
+    Result *res = (Result *)calloc(1, sizeof(Result));
+    if (!res) return NULL;
+    run_single(res, n_routers, n_flat_ports, port_base, nports, deg_off,
+               nbr, out_mask, out_gp, out_eidx, capacity, ej_max, deadline,
+               n_packets, pk_mask, pk_srcgp, n_buckets, bucket_cycle,
+               bucket_off, bucket_pid, link_counts, peaks);
     return res;
 }
 
@@ -403,7 +448,9 @@ static int pool_mw_push(PoolMW *p, int32_t nw, const uint64_t *mask,
     return 0;
 }
 
-Result *nocsim_run_mw(
+/* One schedule, multi-word masks.  Same contract as run_single. */
+static void run_single_mw(
+    Result *res,
     /* topology tables */
     int32_t n_routers,
     int32_t n_words,
@@ -434,8 +481,6 @@ Result *nocsim_run_mw(
 ) {
     const int32_t nw = n_words;
     (void)nbr; /* output-port claims go through out_stamp, not neighbor ids */
-    Result *res = (Result *)calloc(1, sizeof(Result));
-    if (!res) return NULL;
 
     int32_t deg_total = deg_off[n_routers];
     int32_t nbw = (n_routers + 63) >> 6; /* busy-mask words over routers */
@@ -662,5 +707,177 @@ cleanup:
     free(dlog.dst);
     free(dlog.cycle);
     free(dlog.hops);
+}
+
+Result *nocsim_run_mw(
+    int32_t n_routers,
+    int32_t n_words,
+    int32_t n_flat_ports,
+    const int32_t *port_base,
+    const int32_t *nports,
+    const int32_t *deg_off,
+    const int32_t *nbr,
+    const uint64_t *out_mask,
+    const int32_t *out_gp,
+    const int32_t *out_eidx,
+    int32_t capacity,
+    int32_t ej_max,
+    int64_t deadline,
+    int64_t n_packets,
+    const uint64_t *pk_mask,
+    const int32_t *pk_srcgp,
+    int64_t n_buckets,
+    const int64_t *bucket_cycle,
+    const int64_t *bucket_off,
+    const int32_t *bucket_pid,
+    int64_t *link_counts,
+    int32_t *peaks
+) {
+    Result *res = (Result *)calloc(1, sizeof(Result));
+    if (!res) return NULL;
+    run_single_mw(res, n_routers, n_words, n_flat_ports, port_base, nports,
+                  deg_off, nbr, out_mask, out_gp, out_eidx, capacity, ej_max,
+                  deadline, n_packets, pk_mask, pk_srcgp, n_buckets,
+                  bucket_cycle, bucket_off, bucket_pid, link_counts, peaks);
     return res;
+}
+
+/* ------------------------------------------------------------------ */
+/* Batch entry points: all schedules of a simulate_many batch in one  */
+/* call, parallel over schedules with OpenMP when available.          */
+/* ------------------------------------------------------------------ */
+
+/* 1 when the loaded kernel was compiled with OpenMP support. */
+int32_t nocsim_openmp(void) {
+#ifdef _OPENMP
+    return 1;
+#else
+    return 0;
+#endif
+}
+
+void nocsim_free_batch(Result *arr, int64_t n_schedules) {
+    if (!arr) return;
+    for (int64_t s = 0; s < n_schedules; s++) {
+        free(arr[s].d_meta);
+        free(arr[s].d_dst);
+        free(arr[s].d_cycle);
+        free(arr[s].d_hops);
+    }
+    free(arr);
+}
+
+/* Shared tables are passed once; per-schedule arrays are concatenated
+ * with CSR-style offsets:
+ *
+ *   pk_off[S+1]   — schedule s's packets occupy [pk_off[s], pk_off[s+1])
+ *                   of pk_mask (x n_words for the mw variant), pk_srcgp
+ *                   and bucket_pid (pids are schedule-local);
+ *   bk_off[S+1]   — schedule s's buckets occupy [bk_off[s], bk_off[s+1])
+ *                   of bucket_cycle; its bucket_off slice (length
+ *                   n_buckets_s + 1, values schedule-local) starts at
+ *                   bucket_off + bk_off[s] + s;
+ *   deadline[S]   — per-schedule stop cycle;
+ *   link_counts   — [S * n_edges] slab, zeroed by the host;
+ *   peaks         — [S * n_flat_ports] slab, zeroed by the host.
+ *
+ * n_threads > 0 caps the OpenMP team size; <= 0 uses the runtime
+ * default.  Returns an array of S Result structs (free with
+ * nocsim_free_batch), or NULL on allocation failure. */
+Result *nocsim_run_batch(
+    int32_t n_routers,
+    int32_t n_flat_ports,
+    const int32_t *port_base,
+    const int32_t *nports,
+    const int32_t *deg_off,
+    const int32_t *nbr,
+    const uint64_t *out_mask,
+    const int32_t *out_gp,
+    const int32_t *out_eidx,
+    int32_t capacity,
+    int32_t ej_max,
+    int32_t n_edges,
+    int64_t n_schedules,
+    const int64_t *pk_off,
+    const uint64_t *pk_mask,
+    const int32_t *pk_srcgp,
+    const int64_t *bk_off,
+    const int64_t *bucket_cycle,
+    const int64_t *bucket_off,
+    const int32_t *bucket_pid,
+    const int64_t *deadline,
+    int32_t n_threads,
+    int64_t *link_counts,
+    int32_t *peaks
+) {
+    Result *arr = (Result *)calloc((size_t)n_schedules, sizeof(Result));
+    if (!arr) return NULL;
+#ifdef _OPENMP
+    int nt = n_threads > 0 ? n_threads : omp_get_max_threads();
+    #pragma omp parallel for schedule(dynamic) num_threads(nt)
+#else
+    (void)n_threads;
+#endif
+    for (int64_t s = 0; s < n_schedules; s++) {
+        int64_t p0 = pk_off[s];
+        int64_t b0 = bk_off[s];
+        run_single(&arr[s], n_routers, n_flat_ports, port_base, nports,
+                   deg_off, nbr, out_mask, out_gp, out_eidx, capacity,
+                   ej_max, deadline[s], pk_off[s + 1] - p0, pk_mask + p0,
+                   pk_srcgp + p0, bk_off[s + 1] - b0, bucket_cycle + b0,
+                   bucket_off + b0 + s, bucket_pid + p0,
+                   link_counts + s * n_edges,
+                   peaks + s * n_flat_ports);
+    }
+    return arr;
+}
+
+Result *nocsim_run_batch_mw(
+    int32_t n_routers,
+    int32_t n_words,
+    int32_t n_flat_ports,
+    const int32_t *port_base,
+    const int32_t *nports,
+    const int32_t *deg_off,
+    const int32_t *nbr,
+    const uint64_t *out_mask,
+    const int32_t *out_gp,
+    const int32_t *out_eidx,
+    int32_t capacity,
+    int32_t ej_max,
+    int32_t n_edges,
+    int64_t n_schedules,
+    const int64_t *pk_off,
+    const uint64_t *pk_mask,    /* [pk_off[S] * n_words] */
+    const int32_t *pk_srcgp,
+    const int64_t *bk_off,
+    const int64_t *bucket_cycle,
+    const int64_t *bucket_off,
+    const int32_t *bucket_pid,
+    const int64_t *deadline,
+    int32_t n_threads,
+    int64_t *link_counts,
+    int32_t *peaks
+) {
+    Result *arr = (Result *)calloc((size_t)n_schedules, sizeof(Result));
+    if (!arr) return NULL;
+#ifdef _OPENMP
+    int nt = n_threads > 0 ? n_threads : omp_get_max_threads();
+    #pragma omp parallel for schedule(dynamic) num_threads(nt)
+#else
+    (void)n_threads;
+#endif
+    for (int64_t s = 0; s < n_schedules; s++) {
+        int64_t p0 = pk_off[s];
+        int64_t b0 = bk_off[s];
+        run_single_mw(&arr[s], n_routers, n_words, n_flat_ports, port_base,
+                      nports, deg_off, nbr, out_mask, out_gp, out_eidx,
+                      capacity, ej_max, deadline[s], pk_off[s + 1] - p0,
+                      pk_mask + p0 * n_words, pk_srcgp + p0,
+                      bk_off[s + 1] - b0, bucket_cycle + b0,
+                      bucket_off + b0 + s, bucket_pid + p0,
+                      link_counts + s * n_edges,
+                      peaks + s * n_flat_ports);
+    }
+    return arr;
 }

@@ -70,12 +70,18 @@ from __future__ import annotations
 import ctypes
 import dataclasses
 import itertools
+import os
 from collections import deque
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.noc._ckernel import load_kernel
+from repro.noc._ckernel import (
+    has_batch,
+    load_kernel,
+    openmp_enabled,
+    resolve_threads,
+)
 from repro.noc.interconnect import Interconnect, NocConfig
 from repro.noc.packet import Injection
 from repro.noc.routing import RoutingTable, routing_for
@@ -469,15 +475,60 @@ class FastInterconnect:
         return self._run(plan, stats)
 
     def simulate_many(
-        self, schedules: Sequence[ScheduleLike]
+        self,
+        schedules: Sequence[ScheduleLike],
+        threads: Optional[int] = None,
     ) -> List[NocStats]:
         """Simulate a batch of injection schedules on this network.
 
         The routing/port tables are built once per instance, so scoring
         a whole swarm of candidate placements costs one table build plus
         one lean simulation per schedule.
+
+        When the compiled kernel exposes the batch entry points, the
+        whole batch runs in **one** C call (the ctypes call releases
+        the GIL) with OpenMP parallelism across independent schedules —
+        bit-identical to the serial per-schedule path for any thread
+        count, because each schedule runs the same single-schedule
+        algorithm into its own result slab.  ``threads`` caps the team
+        (``None`` defers to ``REPRO_NOC_THREADS``, then one per core;
+        ``0`` disables the batch path).
+
+        An explicit ``threads`` argument always takes the batch path
+        (tests pin its single-thread behavior that way); on auto it is
+        only taken when it can actually parallelize (OpenMP build, more
+        than one effective thread) — a 1-thread batch call pays the
+        concatenation and result-slab overhead with nothing to buy it
+        back.
         """
+        schedules = list(schedules)
+        if len(schedules) > 1 and has_batch(self._ck):
+            n_threads = resolve_threads(threads)
+            if n_threads != 0 and (
+                threads is not None or self.batch_threads(threads) > 1
+            ):
+                out = self._simulate_many_c(schedules, n_threads)
+                if out is not None:
+                    return out
         return [self.simulate(injections) for injections in schedules]
+
+    def batch_threads(self, requested: Optional[int] = None) -> int:
+        """Effective parallelism of the threaded batch kernel.
+
+        ``0`` when the batch path is unavailable or disabled; ``1``
+        when it runs but cannot parallelize (no OpenMP); otherwise the
+        thread count capped by the core count.  Callers use this to
+        decide between the in-process threaded kernel and the process
+        pool.
+        """
+        if not has_batch(self._ck):
+            return 0
+        n_threads = resolve_threads(requested)
+        if n_threads == 0:
+            return 0
+        if not openmp_enabled(self._ck):
+            return 1
+        return max(1, min(n_threads, os.cpu_count() or 1))
 
     # -- schedule expansion --------------------------------------------------
 
@@ -677,8 +728,14 @@ class FastInterconnect:
                 w += 1
         return words
 
-    def _run_c(self, plan, stats: FastNocStats) -> FastNocStats:
-        """Hand the cycle loop to the compiled kernel (same semantics)."""
+    def _marshal_plan(self, plan):
+        """Kernel-ready arrays for one plan (shared by the single-
+        schedule and batch paths, so both feed the C code identical
+        inputs — the root of the batch bit-identity guarantee).
+
+        Returns ``(p_meta, n_packets, mask_words, pk_srcgp,
+        bucket_cycle, bucket_off, bucket_pid, n_buckets, deadline)``.
+        """
         if isinstance(plan, _ColumnarPlan):
             p_meta = plan.meta
             n_packets = plan.mask_words.shape[0]
@@ -711,6 +768,31 @@ class FastInterconnect:
             )
             n_buckets = len(buckets)
             deadline = inject_cycles[-1] + self.config.max_extra_cycles
+        return (
+            p_meta,
+            n_packets,
+            mask_words,
+            pk_srcgp,
+            bucket_cycle,
+            bucket_off,
+            bucket_pid,
+            n_buckets,
+            deadline,
+        )
+
+    def _run_c(self, plan, stats: FastNocStats) -> FastNocStats:
+        """Hand the cycle loop to the compiled kernel (same semantics)."""
+        (
+            p_meta,
+            n_packets,
+            mask_words,
+            pk_srcgp,
+            bucket_cycle,
+            bucket_off,
+            bucket_pid,
+            n_buckets,
+            deadline,
+        ) = self._marshal_plan(plan)
         link_counts = np.zeros(len(self._edges), dtype=np.int64)
         peaks = np.zeros(self._n_flat_ports, dtype=np.int32)
         tb = self._ck_tables
@@ -783,6 +865,181 @@ class FastInterconnect:
                 "noc.engine_runs", engine="c" if self._n <= 63 else "c-mw"
             )
         return stats
+
+    def _simulate_many_c(
+        self, schedules: Sequence[ScheduleLike], n_threads: int
+    ) -> Optional[List[NocStats]]:
+        """Score the whole batch in one threaded kernel call.
+
+        Returns ``None`` when the kernel reports a failure, making the
+        caller fall back to the serial per-schedule path (which has its
+        own per-schedule Python fallback).
+        """
+        results: List[FastNocStats] = []
+        live: List[Tuple[FastNocStats, tuple]] = []
+        for injections in schedules:
+            stats = FastNocStats()
+            if isinstance(injections, ColumnarSchedule):
+                plan = self._columnar_plan(injections, stats)
+            else:
+                if hasattr(injections, "injections"):
+                    injections = injections.injections
+                plan = self._build_pool_schedule(injections, stats)
+            if plan is not None:
+                live.append((stats, self._marshal_plan(plan)))
+            results.append(stats)
+
+        obs = get_observer()
+        if live:
+            if obs.enabled:
+                with obs.span(
+                    "noc.simulate_batch",
+                    backend="fast",
+                    routers=self._n,
+                    n_schedules=len(schedules),
+                    threads=n_threads,
+                ):
+                    ok = self._dispatch_batch(live, n_threads)
+            else:
+                ok = self._dispatch_batch(live, n_threads)
+            if not ok:
+                return None
+        if obs.enabled:
+            obs.inc("noc.engine_runs", len(live), engine="c-batch")
+            obs.inc("noc.simulations", len(results), backend="fast")
+            obs.inc(
+                "noc.packets_injected",
+                sum(s.n_injected for s in results),
+            )
+            obs.inc(
+                "noc.deliveries",
+                sum(s.delivered_count for s in results),
+            )
+        return results
+
+    def _dispatch_batch(
+        self, live: List[Tuple[FastNocStats, tuple]], n_threads: int
+    ) -> bool:
+        """Concatenate marshalled plans CSR-style, run the batch entry
+        point once, and attach each schedule's result slab.  ``False``
+        on any kernel failure (caller falls back)."""
+        n_live = len(live)
+        plans = [m for _, m in live]
+        pk_off = np.zeros(n_live + 1, dtype=np.int64)
+        np.cumsum([m[1] for m in plans], out=pk_off[1:])
+        bk_off = np.zeros(n_live + 1, dtype=np.int64)
+        np.cumsum([m[7] for m in plans], out=bk_off[1:])
+        pk_mask = np.ascontiguousarray(
+            np.concatenate([m[2] for m in plans])
+        )
+        pk_srcgp = np.ascontiguousarray(
+            np.concatenate([m[3] for m in plans])
+        )
+        bucket_cycle = np.ascontiguousarray(
+            np.concatenate([m[4] for m in plans])
+        )
+        # Schedule s's bucket_off slice (length n_buckets_s + 1, local
+        # offsets) lives at bk_off[s] + s in the concatenation — the
+        # layout the C batch entry expects.
+        bucket_off = np.ascontiguousarray(
+            np.concatenate([m[5] for m in plans])
+        )
+        bucket_pid = np.ascontiguousarray(
+            np.concatenate([m[6] for m in plans])
+        )
+        deadlines = np.asarray([m[8] for m in plans], dtype=np.int64)
+        n_edges = len(self._edges)
+        link_counts = np.zeros(n_live * n_edges, dtype=np.int64)
+        peaks = np.zeros(n_live * self._n_flat_ports, dtype=np.int32)
+        tb = self._ck_tables
+
+        def ptr(a, ctype):
+            return a.ctypes.data_as(ctypes.POINTER(ctype))
+
+        common_args = (
+            ptr(tb[0], ctypes.c_int32),
+            ptr(tb[1], ctypes.c_int32),
+            ptr(tb[2], ctypes.c_int32),
+            ptr(tb[3], ctypes.c_int32),
+            ptr(tb[4], ctypes.c_uint64),
+            ptr(tb[5], ctypes.c_int32),
+            ptr(tb[6], ctypes.c_int32),
+            self.config.buffer_capacity,
+            self.config.ejections_per_cycle,
+            n_edges,
+            n_live,
+            ptr(pk_off, ctypes.c_int64),
+            ptr(pk_mask, ctypes.c_uint64),
+            ptr(pk_srcgp, ctypes.c_int32),
+            ptr(bk_off, ctypes.c_int64),
+            ptr(bucket_cycle, ctypes.c_int64),
+            ptr(bucket_off, ctypes.c_int64),
+            ptr(bucket_pid, ctypes.c_int32),
+            ptr(deadlines, ctypes.c_int64),
+            n_threads,
+            ptr(link_counts, ctypes.c_int64),
+            ptr(peaks, ctypes.c_int32),
+        )
+        # One ctypes call for the whole batch; ctypes releases the GIL
+        # for the duration, so the OpenMP team runs truly in parallel.
+        if self._n <= 63:
+            res_p = self._ck.nocsim_run_batch(
+                self._n, self._n_flat_ports, *common_args
+            )
+        else:
+            res_p = self._ck.nocsim_run_batch_mw(
+                self._n, self._n_words, self._n_flat_ports, *common_args
+            )
+        if not res_p:
+            return False
+        try:
+            extracted = []
+            for s in range(n_live):
+                res = res_p[s]
+                if res.status != 0:
+                    return False
+                d_len = res.d_len
+                if d_len:
+                    cols = (
+                        np.ctypeslib.as_array(
+                            res.d_meta, shape=(d_len,)
+                        ).copy(),
+                        np.ctypeslib.as_array(
+                            res.d_dst, shape=(d_len,)
+                        ).copy(),
+                        np.ctypeslib.as_array(
+                            res.d_cycle, shape=(d_len,)
+                        ).copy(),
+                        np.ctypeslib.as_array(
+                            res.d_hops, shape=(d_len,)
+                        ).copy(),
+                    )
+                else:
+                    cols = (
+                        np.empty(0, dtype=np.int32),
+                        np.empty(0, dtype=np.int32),
+                        np.empty(0, dtype=np.int64),
+                        np.empty(0, dtype=np.int32),
+                    )
+                extracted.append((cols, res.cycles_run))
+        finally:
+            self._ck.nocsim_free_batch(res_p, n_live)
+
+        for s, (stats, m) in enumerate(live):
+            cols, cycles_run = extracted[s]
+            stats.cycles_run = int(cycles_run)
+            counts = link_counts[s * n_edges:(s + 1) * n_edges].tolist()
+            stats.link_loads = {
+                edge: count
+                for edge, count in zip(self._edges, counts)
+                if count
+            }
+            pk = peaks[
+                s * self._n_flat_ports:(s + 1) * self._n_flat_ports
+            ]
+            stats.peak_buffer_occupancy = int(pk.max()) if pk.size else 0
+            stats._attach(cols, m[0], self._nodes, False)
+        return True
 
     def _run(self, plan, stats: FastNocStats) -> FastNocStats:
         obs = get_observer()
@@ -1213,14 +1470,18 @@ def simulate_many(
     schedules: Sequence[ScheduleLike],
     routing: Optional[RoutingTable] = None,
     config: Optional[NocConfig] = None,
+    threads: Optional[int] = None,
 ) -> List[NocStats]:
     """Score many injection schedules over one network in a single call.
 
     Convenience wrapper that always uses the fast backend (that is the
     point of batching); the routing tables are built once and shared
-    across all schedules.
+    across all schedules.  ``threads`` caps the threaded batch kernel
+    (``None`` defers to ``REPRO_NOC_THREADS``).
     """
     cfg = config if config is not None else NocConfig()
     if cfg.backend != "fast":
         cfg = dataclasses.replace(cfg, backend="fast")
-    return FastInterconnect(topology, routing, cfg).simulate_many(schedules)
+    return FastInterconnect(topology, routing, cfg).simulate_many(
+        schedules, threads=threads
+    )

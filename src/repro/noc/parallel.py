@@ -201,8 +201,13 @@ def _run_chunk(
     sim = _WORKER_SIM
     registry: Union[MetricsRegistry, bool] = MetricsRegistry() if collect else False
     with observe(tracer=False, metrics=registry):
+        # No batch kernel inside workers: the pool already owns the
+        # machine's cores, so nested OpenMP teams would only thrash,
+        # and a 1-thread batch call is pure overhead over the
+        # per-schedule loop.
         summaries = [
-            summarize(s, sim.topology) for s in sim.simulate_many(schedules)
+            summarize(s, sim.topology)
+            for s in sim.simulate_many(schedules, threads=0)
         ]
     deltas = registry.counter_deltas() if collect else None
     return start, summaries, deltas
@@ -229,6 +234,14 @@ class ParallelNocSimulator:
         Schedules per work item.  Default splits the batch into about
         four chunks per worker, which balances load without drowning the
         queue in tiny messages.
+    threads:
+        Thread cap for the compiled batch kernel (``None`` defers to
+        ``REPRO_NOC_THREADS``, ``0`` disables it).  When the kernel can
+        parallelize in-process (OpenMP build, more than one effective
+        thread), batches run through it instead of the process pool —
+        same results, none of the pickling/dispatch overhead.  The pool
+        remains the fallback for no-OpenMP builds and the pure-Python
+        engine.
     """
 
     def __init__(
@@ -238,6 +251,7 @@ class ParallelNocSimulator:
         config: Optional[NocConfig] = None,
         workers: WorkersSpec = 0,
         chunk_size: Optional[int] = None,
+        threads: Optional[int] = None,
     ) -> None:
         # Pool state first: __del__ must work even if validation below
         # raises mid-construction.
@@ -256,6 +270,7 @@ class ParallelNocSimulator:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.workers = resolve_workers(workers)
         self.chunk_size = chunk_size
+        self.threads = threads
 
     # -- pool management -----------------------------------------------------
 
@@ -326,7 +341,7 @@ class ParallelNocSimulator:
     ) -> List[ScheduleSummary]:
         return [
             summarize(s, self._sim.topology)
-            for s in self._sim.simulate_many(schedules)
+            for s in self._sim.simulate_many(schedules, threads=self.threads)
         ]
 
     def summarize_many(
@@ -334,13 +349,19 @@ class ParallelNocSimulator:
     ) -> List[ScheduleSummary]:
         """Simulate every schedule; return one summary per schedule.
 
-        The parallel path and the serial path run the same engine and
-        the same :func:`summarize`, so the returned list is identical
-        whichever path executed.
+        The parallel path, the threaded-kernel path and the serial path
+        all run the same engine and the same :func:`summarize`, so the
+        returned list is identical whichever path executed.
         """
         schedules = list(schedules)
         obs = get_observer()
         if self.workers <= 1 or self._pool_broken or len(schedules) <= 1:
+            return self._summarize_serial(schedules)
+        if self._sim.batch_threads(self.threads) > 1:
+            # The OpenMP batch kernel parallelizes in-process with zero
+            # pickling/dispatch cost; prefer it over the pool whenever
+            # it can actually use more than one core.
+            obs.inc("noc.parallel.threaded_batches")
             return self._summarize_serial(schedules)
         try:
             if self._pool is None:
@@ -379,7 +400,7 @@ class ParallelNocSimulator:
         """Full-stats batch API (always in-process; summaries are the
         cheap cross-process currency — use :meth:`summarize_many` for
         swarm scoring)."""
-        return self._sim.simulate_many(schedules)
+        return self._sim.simulate_many(schedules, threads=self.threads)
 
 
 def parallel_simulate_many(
@@ -389,6 +410,7 @@ def parallel_simulate_many(
     config: Optional[NocConfig] = None,
     workers: WorkersSpec = 0,
     chunk_size: Optional[int] = None,
+    threads: Optional[int] = None,
 ) -> List[ScheduleSummary]:
     """One-shot helper: shard a batch once and tear the pool down.
 
@@ -402,6 +424,11 @@ def parallel_simulate_many(
 
         cfg = dataclasses.replace(cfg, backend="fast")
     with ParallelNocSimulator(
-        topology, routing, cfg, workers=workers, chunk_size=chunk_size
+        topology,
+        routing,
+        cfg,
+        workers=workers,
+        chunk_size=chunk_size,
+        threads=threads,
     ) as sim:
         return sim.summarize_many(schedules)

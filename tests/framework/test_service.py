@@ -182,6 +182,53 @@ class TestArtifactSharing:
         assert cold2.stats["corrupt_discarded"] == 1
 
 
+
+# -- bounded in-memory layer -------------------------------------------------
+
+
+class TestBoundedMemory:
+    def test_lru_evicts_least_recently_used(self):
+        cache = ArtifactCache(max_entries=3)
+        for i in range(4):
+            cache.put(f"k{i}", i)
+        # k0 is the oldest entry and the only casualty.
+        assert cache.get("k0") == (False, None)
+        assert cache.get("k1") == (True, 1)
+        assert cache.stats["evictions"] == 1
+        # The hit freshened k1, so the next eviction takes k2.
+        cache.put("k4", 4)
+        assert cache.get("k2") == (False, None)
+        assert cache.get("k1") == (True, 1)
+        assert cache.stats["evictions"] == 2
+
+    def test_unbounded_by_default(self):
+        cache = ArtifactCache()
+        for i in range(100):
+            cache.put(f"k{i}", i)
+        assert cache.stats["evictions"] == 0
+        assert cache.get("k0") == (True, 0)
+
+    def test_eviction_drops_memory_not_disk(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path), max_entries=1)
+        key = cache.key("thing", ("token", 1))
+        cache.put(key, np.arange(3), persist=True)
+        cache.put("other", 0)  # evicts the persisted entry from memory
+        assert cache.stats["evictions"] == 1
+        found, value = cache.get(key)  # ...but disk still serves it
+        assert found and np.array_equal(value, np.arange(3))
+        assert cache.stats["disk_hits"] == 1
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(max_entries=0)
+
+    def test_service_owned_cache_is_bounded(self):
+        with MappingService(max_entries=5) as service:
+            assert service.cache.max_entries == 5
+        with pytest.raises(ValueError):
+            MappingService(cache=ArtifactCache(), max_entries=5)
+
+
 # -- result memoization ------------------------------------------------------
 
 
