@@ -29,6 +29,7 @@ EXPECTED_LEGS = (
     "large_mesh",
     "frontend_speedup",
     "fault_tolerance",
+    "fault_campaign",
     "service_bench",
     "obs_overhead",
     "threaded_batch",

@@ -92,6 +92,14 @@ class InterconnectFitness:
         :meth:`~repro.framework.service.SwarmCoalescer.score`, which
         merges concurrently scoring requests on the same fabric into one
         shared build/simulate batch (bit-identical per row).
+    balance_watermark / balance_weight:
+        Fault-aware spreading term: each cluster packing more than
+        ``balance_watermark`` neurons adds
+        ``balance_weight * overflow**2`` to the objective, steering the
+        optimizer toward spread-out mappings whose crossbars keep spare
+        slots — the headroom that makes runtime evacuation cheap when a
+        crossbar dies.  Off by default (``balance_weight == 0``); see
+        ``map_snn(..., spare_capacity=)`` for the user-facing knob.
     """
 
     def __init__(
@@ -109,11 +117,26 @@ class InterconnectFitness:
         threads=None,
         cache=None,
         coalescer=None,
+        balance_watermark: Optional[int] = None,
+        balance_weight: float = 0.0,
     ) -> None:
         self.graph = graph
         self.matrix = TrafficMatrix(graph)
         self.count_packets = count_packets
         self.hop_weighted = hop_weighted
+        if balance_weight < 0:
+            raise ValueError(
+                f"balance_weight must be non-negative, got {balance_weight}"
+            )
+        if balance_weight > 0 and (
+            balance_watermark is None or balance_watermark <= 0
+        ):
+            raise ValueError(
+                "balance_weight needs a positive balance_watermark, got "
+                f"{balance_watermark}"
+            )
+        self.balance_watermark = balance_watermark
+        self.balance_weight = float(balance_weight)
         if hop_weighted and (topology is None or routing is None):
             raise ValueError(
                 "hop_weighted fitness needs a topology and routing table"
@@ -172,12 +195,16 @@ class InterconnectFitness:
         """Objective value of one assignment (lower is better)."""
         a = np.asarray(assignment, dtype=np.int64)
         if self.noc_in_loop:
-            return self._simulate_one(a)
-        if self.hop_weighted:
-            return self._hop_weighted(a)
-        if self.count_packets:
-            return self.matrix.packet_traffic(a)
-        return self.matrix.global_traffic(a)
+            base = self._simulate_one(a)
+        elif self.hop_weighted:
+            base = self._hop_weighted(a)
+        elif self.count_packets:
+            base = self.matrix.packet_traffic(a)
+        else:
+            base = self.matrix.global_traffic(a)
+        if self.balance_weight > 0:
+            base += self._balance_penalty(a[None, :])[0]
+        return base
 
     def evaluate_batch(self, assignments: np.ndarray) -> np.ndarray:
         """Objective values for a (P, N) batch of assignments."""
@@ -185,12 +212,39 @@ class InterconnectFitness:
         if a.ndim == 1:
             a = a[None, :]
         if self.noc_in_loop:
-            return self._simulate_batch(a)
-        if self.hop_weighted:
-            return self._hop_weighted_batch(a)
-        if self.count_packets:
-            return self.matrix.packet_traffic_batch(a)
-        return self.matrix.global_traffic_batch(a)
+            base = self._simulate_batch(a)
+        elif self.hop_weighted:
+            base = self._hop_weighted_batch(a)
+        elif self.count_packets:
+            base = self.matrix.packet_traffic_batch(a)
+        else:
+            base = self.matrix.global_traffic_batch(a)
+        if self.balance_weight > 0:
+            base = base + self._balance_penalty(a)
+        return base
+
+    def _balance_penalty(self, assignments: np.ndarray) -> np.ndarray:
+        """Quadratic overflow past the watermark, per swarm row.
+
+        ``sum_c max(0, count_c - watermark)**2`` scaled by
+        ``balance_weight`` — zero for any row whose clusters all stay at
+        or under the watermark, growing quadratically as neurons pile
+        onto one crossbar.  Vectorized over the whole (P, N) batch with
+        one scatter-add.
+        """
+        p, _ = assignments.shape
+        n_clusters = int(assignments.max()) + 1 if assignments.size else 1
+        counts = np.zeros((p, n_clusters), dtype=np.int64)
+        np.add.at(
+            counts,
+            (np.repeat(np.arange(p), assignments.shape[1]),
+             assignments.ravel()),
+            1,
+        )
+        overflow = np.clip(counts - self.balance_watermark, 0, None)
+        return self.balance_weight * (
+            (overflow.astype(np.float64) ** 2).sum(axis=1)
+        )
 
     @property
     def upper_bound(self) -> float:

@@ -90,6 +90,7 @@ def map_snn(
     cache=None,
     coalescer=None,
     warm_seeds=None,
+    spare_capacity: float = 0.0,
     **kwargs,
 ) -> MappingResult:
     """Partition ``graph`` onto ``architecture`` with the chosen method.
@@ -149,6 +150,14 @@ def map_snn(
         (e.g. the cache's best recorded swarm state for this problem);
         seeds are evaluated exactly, so the swarm starts no worse than
         the best seed.  PSO only.
+    spare_capacity:
+        Fault-aware headroom fraction in ``[0, 1)``.  Every crossbar
+        keeps ``ceil(capacity * spare_capacity)`` slots free (a hard
+        reservation enforced on every method's partitioner), the PSO
+        objective gains a balance penalty spreading neurons below the
+        watermark, and the placement pass keeps loaded clusters near
+        spare slots (cheap evacuation targets).  ``0`` (default) is the
+        paper's behavior, bit-identical to before.
     kwargs:
         Forwarded to the underlying baseline (e.g. annealing config).
     """
@@ -156,6 +165,19 @@ def map_snn(
         raise ValueError(f"unknown method {method!r}; options: {METHODS}")
     architecture.require_fits(graph.n_neurons)
     c, nc = architecture.n_crossbars, architecture.neurons_per_crossbar
+
+    if not 0.0 <= spare_capacity < 1.0:
+        raise ValueError(
+            f"spare_capacity must be in [0, 1), got {spare_capacity}"
+        )
+    reserve = int(np.ceil(nc * spare_capacity))
+    nc_eff = nc - reserve
+    if nc_eff * c < graph.n_neurons:
+        raise ValueError(
+            f"spare_capacity={spare_capacity} reserves {reserve} of {nc} "
+            f"slots per crossbar, leaving {nc_eff * c} usable slots for "
+            f"{graph.n_neurons} neurons"
+        )
 
     if objective not in ("packets", "spikes", "noc"):
         raise ValueError(
@@ -194,6 +216,7 @@ def map_snn(
                     objective=objective,
                     noc_config=noc_config,
                     warm_seeds=warm_seeds,
+                    spare_capacity=spare_capacity,
                 ),
             )
             found, cached = cache.get(memo_key)
@@ -218,6 +241,22 @@ def map_snn(
         n_neurons=graph.n_neurons,
         n_crossbars=c,
     )
+    # Fault-aware spreading: a balance watermark at the even-fill level
+    # with a weight scaled to the graph's traffic, so the penalty acts as
+    # a spread-toward-balance tie-breaker in the objective's own units.
+    balance_kwargs: Dict[str, object] = {}
+    if spare_capacity > 0:
+        balance_kwargs = dict(
+            balance_watermark=max(
+                1, int(np.ceil(graph.n_neurons / max(c, 1)))
+            ),
+            balance_weight=(
+                spare_capacity
+                * float(graph.traffic.sum())
+                / max(graph.n_neurons, 1)
+            ),
+        )
+
     with map_span:
         if method == "pso":
             if objective == "noc":
@@ -236,10 +275,12 @@ def map_snn(
                     threads=threads,
                     cache=cache,
                     coalescer=coalescer,
+                    **balance_kwargs,
                 )
             else:
                 fitness = InterconnectFitness(
-                    graph, count_packets=(objective == "packets"), cache=cache
+                    graph, count_packets=(objective == "packets"), cache=cache,
+                    **balance_kwargs,
                 )
             move_cost = graph.neuron_out_traffic()
             in_traffic = np.bincount(
@@ -249,7 +290,7 @@ def map_snn(
                 fitness,
                 n_neurons=graph.n_neurons,
                 n_clusters=c,
-                capacity=nc,
+                capacity=nc_eff,
                 config=pso_config,
                 move_cost=move_cost + in_traffic,
                 seed=seed,
@@ -257,9 +298,9 @@ def map_snn(
             initial = None
             if warm_start:
                 with obs.span("map.warm_start"):
-                    seeds = [pacman_partition(graph, c, nc).assignment]
+                    seeds = [pacman_partition(graph, c, nc_eff).assignment]
                     try:
-                        seeds.append(greedy_partition(graph, c, nc).assignment)
+                        seeds.append(greedy_partition(graph, c, nc_eff).assignment)
                     except ValueError:
                         pass  # greedy can be skipped if packing is degenerate
                     initial = np.stack(seeds)
@@ -281,7 +322,7 @@ def map_snn(
                 n_evaluations=result.n_evaluations,
                 best_fitness=result.best_fitness,
             )
-            partition = result.partition(c, nc)
+            partition = result.partition(c, nc_eff)
             extras["history"] = result.history
             extras["n_evaluations"] = result.n_evaluations
             # Swarm throughput (particle-iterations per second): the
@@ -294,20 +335,20 @@ def map_snn(
                 else float("inf")
             )
         elif method == "pacman":
-            partition = pacman_partition(graph, c, nc)
+            partition = pacman_partition(graph, c, nc_eff)
         elif method == "neutrams":
-            partition = neutrams_partition(graph, c, nc, seed=seed)
+            partition = neutrams_partition(graph, c, nc_eff, seed=seed)
         elif method == "random":
-            partition = random_partition(graph, c, nc, seed=seed)
+            partition = random_partition(graph, c, nc_eff, seed=seed)
         elif method == "greedy":
-            partition = greedy_partition(graph, c, nc)
+            partition = greedy_partition(graph, c, nc_eff)
         elif method == "genetic":
             partition = genetic_partition(
-                graph, c, nc, seed=seed,
+                graph, c, nc_eff, seed=seed,
                 count_packets=(objective == "packets"), **kwargs,
             )
         else:  # annealing
-            partition = annealing_partition(graph, c, nc, seed=seed, **kwargs)
+            partition = annealing_partition(graph, c, nc_eff, seed=seed, **kwargs)
 
         # The "noc" objective already optimizes against real attach-point
         # positions, so the closed-form placement pass would permute (and
@@ -320,13 +361,36 @@ def map_snn(
                     if cache is not None
                     else architecture.build_topology()
                 )
-                perm = place_clusters(matrix, topology)
+                spare_kwargs: Dict[str, object] = {}
+                if spare_capacity > 0:
+                    # Keep loaded clusters near free slots: evacuation
+                    # distance is weighed against hop-weighted traffic
+                    # at the mean per-cluster traffic scale.
+                    spare_kwargs = dict(
+                        loads=np.bincount(
+                            partition.assignment, minlength=c
+                        ),
+                        capacity=nc,
+                        spare_weight=(
+                            spare_capacity * float(matrix.sum()) / max(c, 1)
+                        ),
+                    )
+                perm = place_clusters(matrix, topology, **spare_kwargs)
                 partition = Partition(
                     assignment=apply_placement(partition.assignment, perm),
                     n_clusters=c,
                     capacity=nc,
                 )
                 extras["placement"] = perm
+        if partition.capacity != nc:
+            # Report the hardware's true capacity outward; the spare
+            # reservation only constrains how full the partitioners may
+            # pack, not what the crossbars can physically hold.
+            partition = Partition(
+                assignment=partition.assignment,
+                n_clusters=c,
+                capacity=nc,
+            )
     elapsed = map_span.duration_s
 
     local_spikes, global_spikes = local_global_split(graph, partition.assignment)
@@ -336,6 +400,8 @@ def map_snn(
         partition.assignment
     )
     extras["objective"] = objective
+    if spare_capacity > 0:
+        extras["spare_capacity"] = spare_capacity
     mapping = MappingResult(
         method=method,
         partition=partition,
@@ -390,6 +456,7 @@ def compare_methods(
     threads=None,
     noc_config=None,
     cache=None,
+    spare_capacity: float = 0.0,
 ) -> Dict[str, MappingResult]:
     """Run several partitioners on the same problem (Fig. 5 style).
 
@@ -408,7 +475,7 @@ def compare_methods(
         m: map_snn(
             graph, architecture, method=m, seed=seed, pso_config=pso_config,
             objective=objective, workers=workers, threads=threads,
-            noc_config=noc_config, cache=cache,
+            noc_config=noc_config, cache=cache, spare_capacity=spare_capacity,
         )
         for m in methods
     }

@@ -56,17 +56,57 @@ def _distance_matrix(topology: Topology, routing: RoutingTable) -> np.ndarray:
     return topology.crossbar_hop_matrix(routing)
 
 
+def evacuation_cost(
+    loads: np.ndarray,
+    capacity: int,
+    perm: np.ndarray,
+    distance: np.ndarray,
+) -> float:
+    """Load-weighted distance to the nearest refuge, per cluster.
+
+    If cluster ``k``'s crossbar dies, its ``loads[k]`` neurons must
+    migrate to crossbars with free slots; the cheapest refuge is the
+    nearest cluster ``j != k`` with ``loads[j] < capacity``.  Summing
+    ``loads[k] * hop_distance(k, nearest refuge)`` measures how
+    expensive a single-crossbar failure is under this placement —
+    the fault-aware placement term minimized alongside hop-weighted
+    traffic.  Zero when no cluster has spare capacity (every placement
+    is equally stranded).
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    c = loads.shape[0]
+    spare = np.flatnonzero(loads < capacity)
+    if spare.size == 0:
+        return 0.0
+    d = distance[np.ix_(perm, perm[spare])].astype(np.float64)
+    # A cluster cannot take refuge on its own (dead) crossbar.
+    d[spare[None, :] == np.arange(c)[:, None]] = np.inf
+    nearest = d.min(axis=1)
+    nearest[~np.isfinite(nearest)] = 0.0  # only refuge was itself
+    return float((loads * nearest).sum())
+
+
 def place_clusters(
     traffic: np.ndarray,
     topology: Topology,
     routing: Optional[RoutingTable] = None,
     max_passes: int = 20,
+    loads: Optional[np.ndarray] = None,
+    capacity: Optional[int] = None,
+    spare_weight: float = 0.0,
 ) -> np.ndarray:
     """Arrange clusters on attach points to minimize hop-weighted traffic.
 
     Returns ``perm`` with ``perm[k]`` = attach-point slot of cluster ``k``.
     Greedy heaviest-pair-first construction, then pairwise-swap hill
     climbing until a full pass yields no improvement (or ``max_passes``).
+
+    With ``spare_weight > 0`` (requires ``loads`` — neurons per cluster
+    — and ``capacity``) the hill climb also minimizes
+    ``spare_weight * evacuation_cost(...)``, keeping every loaded
+    cluster near spare slots so a crossbar failure migrates its neurons
+    a short distance.  The default path (``spare_weight == 0``) is
+    bit-identical to before.
     """
     c = traffic.shape[0]
     if traffic.shape != (c, c):
@@ -76,6 +116,12 @@ def place_clusters(
             f"{c} clusters need {c} attach points; topology has "
             f"{topology.n_attach_points}"
         )
+    if spare_weight < 0:
+        raise ValueError(
+            f"spare_weight must be non-negative, got {spare_weight}"
+        )
+    if spare_weight > 0 and (loads is None or capacity is None):
+        raise ValueError("spare_weight needs per-cluster loads and capacity")
     if routing is None:
         routing = routing_for(topology)
     if c == 1:
@@ -92,14 +138,31 @@ def place_clusters(
         perm = np.full(c, -1, dtype=np.int64)
         _greedy_fill(symmetric, dist, list(range(c)), list(range(c)), perm)
 
+    if spare_weight > 0:
+        loads = np.asarray(loads, dtype=np.float64)
+        if loads.shape != (c,):
+            raise ValueError(
+                f"loads must have one entry per cluster, got shape "
+                f"{loads.shape} for {c} clusters"
+            )
+
+        def total_cost(p: np.ndarray) -> float:
+            return placement_cost(traffic, p, dist) + (
+                spare_weight * evacuation_cost(loads, capacity, p, dist)
+            )
+    else:
+
+        def total_cost(p: np.ndarray) -> float:
+            return placement_cost(traffic, p, dist)
+
     # Pairwise-swap hill climbing.
-    best_cost = placement_cost(traffic, perm, dist)
+    best_cost = total_cost(perm)
     for _ in range(max_passes):
         improved = False
         for a in range(c):
             for b in range(a + 1, c):
                 perm[a], perm[b] = perm[b], perm[a]
-                cost = placement_cost(traffic, perm, dist)
+                cost = total_cost(perm)
                 if cost < best_cost - 1e-12:
                     best_cost = cost
                     improved = True

@@ -26,7 +26,7 @@ target of an optimizing move or swap afterwards.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -113,6 +113,7 @@ class RuntimeRemapper:
         self.history: List[RemapEpoch] = []
         self.faulty_clusters: Set[int] = set()
         self.fault_log: List[FaultEvent] = []
+        self.heal_log: List[FaultEvent] = []
         self._load_matrix(TrafficMatrix(self.graph))
 
     def _load_matrix(self, matrix: TrafficMatrix) -> None:
@@ -182,6 +183,65 @@ class RuntimeRemapper:
     def mark_crossbar_faulty(self, crossbar: int) -> None:
         """Shorthand for :meth:`apply_fault` without event metadata."""
         self.apply_fault(FaultEvent(crossbar=crossbar))
+
+    def clear_fault(self, event: FaultEvent) -> None:
+        """Re-admit ``event.crossbar``'s cluster after a transient fault.
+
+        The cluster leaves :attr:`faulty_clusters`, so subsequent epochs
+        may migrate load back onto it through ordinary optimizing moves
+        and swaps — under the same migration budget, no special-cased
+        "restore" pass.  Rejects clusters that are not currently faulty
+        (a double clear is a bookkeeping bug worth surfacing).
+        """
+        cluster = int(event.crossbar)
+        if cluster not in self.faulty_clusters:
+            raise ValueError(
+                f"crossbar {cluster} is not marked faulty; cannot clear"
+            )
+        self.faulty_clusters.discard(cluster)
+        self.heal_log.append(event)
+        obs = get_observer()
+        if obs.enabled:
+            obs.inc("runtime.heal_events")
+            obs.event(
+                "fault.crossbar_healed",
+                crossbar=cluster,
+                time=event.time,
+                description=event.description,
+            )
+
+    def mark_crossbar_healed(self, crossbar: int) -> None:
+        """Shorthand for :meth:`clear_fault` without event metadata."""
+        self.clear_fault(FaultEvent(crossbar=crossbar))
+
+    def sync_faults(
+        self, crossbars: Iterable[int], time: float = 0.0
+    ) -> Tuple[List[int], List[int]]:
+        """Reconcile :attr:`faulty_clusters` with an external fault view.
+
+        ``crossbars`` is the complete set of crossbars faulty *now*
+        (e.g. :meth:`~repro.noc.faults.FaultTimeline.crossbars_at`);
+        newly faulty ones get an :meth:`apply_fault`, healed ones a
+        :meth:`clear_fault`, both stamped with ``time``.  Returns the
+        ``(arrived, cleared)`` cluster lists, ascending.
+        """
+        target = {int(k) for k in crossbars}
+        arrived = sorted(target - self.faulty_clusters)
+        cleared = sorted(self.faulty_clusters - target)
+        # Clears first: a fault migrating from one crossbar to another
+        # in a single edge must not trip the healthy-capacity check on
+        # the arrival while the healed cluster still counts as faulty.
+        for cluster in cleared:
+            self.clear_fault(
+                FaultEvent(crossbar=cluster, time=time,
+                           description="timeline clear")
+            )
+        for cluster in arrived:
+            self.apply_fault(
+                FaultEvent(crossbar=cluster, time=time,
+                           description="timeline arrive")
+            )
+        return arrived, cleared
 
     def neurons_on(self, cluster: int) -> List[int]:
         """Neurons currently assigned to ``cluster``, ascending."""
@@ -397,3 +457,60 @@ class RuntimeRemapper:
 
     def total_migrations(self) -> int:
         return sum(e.n_migrations for e in self.history)
+
+
+@dataclass(frozen=True)
+class TimelineStep:
+    """Audit record of one :func:`run_fault_timeline` edge.
+
+    ``arrived``/``cleared`` are the crossbar clusters whose faults
+    appeared or healed at ``time``; ``epochs`` are the remap epochs run
+    in response (in order), already appended to the remapper's history.
+    """
+
+    time: float
+    arrived: Tuple[int, ...]
+    cleared: Tuple[int, ...]
+    epochs: Tuple[RemapEpoch, ...]
+
+
+def run_fault_timeline(
+    remapper: RuntimeRemapper,
+    timeline: "FaultTimeline",
+    epochs_per_edge: int = 1,
+) -> List[TimelineStep]:
+    """Drive a remapper through a transient-fault timeline.
+
+    At every edge of ``timeline`` (each instant where the active fault
+    set changes) the remapper's fault view is synchronized via
+    :meth:`RuntimeRemapper.sync_faults` — arrivals trigger evacuation,
+    clears re-admit the healed cluster — and ``epochs_per_edge`` remap
+    epochs run under the remapper's ordinary migration budget, letting
+    load drain off dying crossbars and flow back onto healed ones.
+    Returns one :class:`TimelineStep` per edge.
+    """
+    check_positive("epochs_per_edge", epochs_per_edge)
+    obs = get_observer()
+    steps: List[TimelineStep] = []
+    for time in timeline.edges():
+        arrived, cleared = remapper.sync_faults(
+            timeline.crossbars_at(time), time=time
+        )
+        epochs = tuple(
+            remapper.remap_epoch() for _ in range(epochs_per_edge)
+        )
+        steps.append(
+            TimelineStep(
+                time=time,
+                arrived=tuple(arrived),
+                cleared=tuple(cleared),
+                epochs=epochs,
+            )
+        )
+        if obs.enabled:
+            obs.inc("runtime.timeline_steps")
+    return steps
+
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from repro.noc.faults import FaultTimeline

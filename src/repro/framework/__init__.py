@@ -13,7 +13,12 @@ partitioner → NoC simulation → metric report.
 """
 
 from repro.framework.artifacts import ArtifactCache
-from repro.framework.pipeline import PipelineResult, run_pipeline
+from repro.framework.pipeline import (
+    PipelineResult,
+    run_fault_campaign,
+    run_fault_sweep,
+    run_pipeline,
+)
 from repro.framework.experiment import ExperimentRecord
 from repro.framework.exploration import (
     ArchitecturePoint,
@@ -43,6 +48,8 @@ from repro.framework.reproduce import reproduce
 
 __all__ = [
     "run_pipeline",
+    "run_fault_campaign",
+    "run_fault_sweep",
     "PipelineResult",
     "ExperimentRecord",
     "ArtifactCache",

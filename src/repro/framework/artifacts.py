@@ -194,6 +194,7 @@ def mapping_token(
     objective: str = "packets",
     noc_config=None,
     warm_seeds=None,
+    spare_capacity: float = 0.0,
 ) -> Any:
     """Memo token of one ``map_snn`` call (worker counts excluded)."""
     return (
@@ -208,6 +209,7 @@ def mapping_token(
         objective,
         config_token(noc_config),
         None if warm_seeds is None else np.asarray(warm_seeds, dtype=np.int64),
+        float(spare_capacity),
     )
 
 
@@ -224,6 +226,7 @@ def pipeline_token(
     faults: int = 0,
     fault_seed=None,
     warm_seeds=None,
+    spare_capacity: float = 0.0,
 ) -> Any:
     """Memo token of one ``run_pipeline`` call (worker counts excluded)."""
     return (
@@ -238,6 +241,7 @@ def pipeline_token(
         objective,
         fault_token(faults, fault_seed),
         None if warm_seeds is None else np.asarray(warm_seeds, dtype=np.int64),
+        float(spare_capacity),
     )
 
 

@@ -105,6 +105,15 @@ def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_spare_capacity_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--spare-capacity", type=float, default=0.0,
+        help="fault-aware headroom fraction in [0, 1): every crossbar "
+             "keeps that share of its slots free and the mapping spreads "
+             "load so runtime evacuation stays cheap (0 = paper behavior)",
+    )
+
+
 def _parse_threads(value: str) -> int:
     """--threads value: an int, or 'auto' meaning one thread per core."""
     v = value.strip().lower()
@@ -242,6 +251,7 @@ def _cmd_map(args) -> int:
         faults=args.faults,
         fault_seed=args.fault_seed,
         cache=_build_cache(args),
+        spare_capacity=args.spare_capacity,
     )
     print(result.mapping.describe())
     if result.failed_links:
@@ -412,6 +422,64 @@ def _explore_chip_counts(args, graph) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    """Monte-Carlo fault campaign, optionally fault-aware vs. baseline."""
+    from repro.core.mapper import map_snn
+    from repro.framework.pipeline import run_fault_campaign
+
+    if _reject_non_pso_noc(args.objective, [args.method]):
+        return 2
+    if args.resume and args.cache_dir is None:
+        print("error: --resume requires --cache-dir", file=sys.stderr)
+        return 2
+    graph = _build_graph(args)
+    arch = _build_architecture(args, graph)
+    print(graph.describe())
+    print(arch.describe())
+    cache = _build_cache(args)
+    pso_config = PSOConfig(n_particles=args.particles,
+                           n_iterations=args.iterations)
+    noc_config = NocConfig(backend=args.noc_backend)
+
+    def build_mapping(spare: float):
+        return map_snn(
+            graph, arch, method=args.method, seed=args.seed,
+            pso_config=pso_config, objective=args.objective,
+            workers=args.workers, threads=args.threads,
+            noc_config=noc_config, cache=cache, spare_capacity=spare,
+        )
+
+    if args.spare_capacity > 0:
+        # Same method and seed twice, with and without headroom: the
+        # campaign then measures what the spare-capacity knob buys.
+        mappings = {
+            "baseline": build_mapping(0.0),
+            "fault-aware": build_mapping(args.spare_capacity),
+        }
+    else:
+        mappings = {args.method: build_mapping(0.0)}
+    for label, mapping in mappings.items():
+        print(f"{label}: {mapping.describe()}")
+
+    summary = run_fault_campaign(
+        graph, arch,
+        mappings=mappings,
+        fault_levels=args.levels,
+        draws=args.draws,
+        campaign_seed=args.campaign_seed,
+        noc_config=noc_config,
+        workers=args.workers,
+        threads=args.threads,
+        cache=cache,
+        state_dir=(
+            os.path.join(args.cache_dir, "sweeps") if args.resume else None
+        ),
+        campaign=f"faults-{args.app}",
+    )
+    print(summary.table())
+    return 0
+
+
 #: Recognized keys of one request object in a --requests JSON file,
 #: with their defaults (a deliberately small, flat vocabulary — the
 #: service API takes real objects; this is the shell-friendly subset).
@@ -436,6 +504,7 @@ _SERVE_DEFAULTS = {
     "noc_backend": "fast",
     "faults": 0,
     "fault_seed": None,
+    "spare_capacity": 0.0,
     "warm": False,
     "workers": 1,
     "threads": None,
@@ -493,6 +562,7 @@ def _cmd_serve(args) -> int:
                 threads=ns.threads,
                 faults=ns.faults,
                 fault_seed=ns.fault_seed,
+                spare_capacity=float(ns.spare_capacity),
                 warm=bool(ns.warm),
                 label=f"{ns.app}#{i}",
             )
@@ -547,6 +617,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_arguments(p_map)
     _add_cache_argument(p_map)
     _add_obs_arguments(p_map)
+    _add_spare_capacity_argument(p_map)
     p_map.add_argument("--method", default="pso", choices=METHODS)
 
     p_cmp = sub.add_parser("compare", help="compare partitioning methods")
@@ -578,6 +649,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint each sweep point under --cache-dir/sweeps and "
              "resume a killed campaign where it stopped (requires "
              "--cache-dir)",
+    )
+
+    p_flt = sub.add_parser(
+        "faults", help="Monte-Carlo fault campaign over a mapping"
+    )
+    _add_app_arguments(p_flt)
+    _add_arch_arguments(p_flt)
+    _add_pso_arguments(p_flt)
+    _add_noc_backend_argument(p_flt)
+    _add_cache_argument(p_flt)
+    _add_obs_arguments(p_flt)
+    _add_spare_capacity_argument(p_flt)
+    p_flt.add_argument("--method", default="pso", choices=METHODS)
+    p_flt.add_argument(
+        "--levels", nargs="+", type=int, default=[0, 1, 2, 4],
+        help="fault counts to sweep; include 0 for the healthy baseline",
+    )
+    p_flt.add_argument(
+        "--draws", type=int, default=16,
+        help="Monte-Carlo fault draws per non-zero level",
+    )
+    p_flt.add_argument(
+        "--campaign-seed", type=int, default=2018,
+        help="root seed; each (level, draw) gets an independent child "
+             "stream so results never depend on execution order",
+    )
+    p_flt.add_argument(
+        "--resume", action="store_true",
+        help="checkpoint each draw under --cache-dir/sweeps and resume "
+             "a killed campaign where it stopped (requires --cache-dir)",
     )
 
     p_srv = sub.add_parser(
@@ -644,6 +745,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "map": _cmd_map,
         "compare": _cmd_compare,
         "explore": _cmd_explore,
+        "faults": _cmd_faults,
         "serve": _cmd_serve,
         "reproduce": _cmd_reproduce,
     }

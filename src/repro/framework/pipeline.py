@@ -71,6 +71,7 @@ def run_pipeline(
     cache=None,
     coalescer=None,
     warm_seeds=None,
+    spare_capacity: float = 0.0,
 ) -> PipelineResult:
     """Map ``graph`` onto ``architecture`` and measure the result.
 
@@ -118,6 +119,11 @@ def run_pipeline(
         Serving-layer hooks, forwarded to
         :func:`~repro.core.mapper.map_snn` (see
         :class:`~repro.framework.service.MappingService`).
+    spare_capacity:
+        Fault-aware headroom fraction forwarded to
+        :func:`~repro.core.mapper.map_snn`: every crossbar keeps that
+        fraction of its slots free and the mapping spreads load so
+        runtime evacuation stays cheap.
     """
     memo_key = None
     if cache is not None:
@@ -140,6 +146,7 @@ def run_pipeline(
                     faults=faults,
                     fault_seed=fault_seed,
                     warm_seeds=warm_seeds,
+                    spare_capacity=spare_capacity,
                 ),
             )
             found, cached = cache.get(memo_key)
@@ -165,6 +172,7 @@ def run_pipeline(
             pso_config=pso_config, objective=objective, workers=workers,
             threads=threads, noc_config=noc_config, cache=cache,
             coalescer=coalescer, warm_seeds=warm_seeds,
+            spare_capacity=spare_capacity,
         )
         with obs.span("pipeline.build_topology"):
             if cache is not None:
@@ -309,7 +317,10 @@ def run_fault_sweep(
 
     def fault_point(index: int, n_faults: int):
         if n_faults:
-            if cache is not None:
+            # An unseeded draw is nondeterministic: memoizing it under a
+            # stable key would replay one arbitrary draw forever (the
+            # same guard run_pipeline applies via deterministic_faults).
+            if cache is not None and fault_seed is not None:
                 topology, failed = cache.degraded_topology(
                     healthy, n_faults, fault_seed
                 )
@@ -337,6 +348,7 @@ def run_fault_sweep(
         )
 
     if state_dir is not None:
+        from repro.framework.artifacts import config_token
         from repro.framework.service import run_sweep_resumable
 
         run = run_sweep_resumable(
@@ -344,9 +356,14 @@ def run_fault_sweep(
             fault_point,
             state_dir,
             campaign=campaign,
+            # The configs shape every checkpointed point (backend
+            # parameters, swarm hyper-parameters), so their content must
+            # invalidate stale checkpoints — a killed sweep restarted
+            # with a different NoC backend or PSO config must recompute.
             fingerprint=(
                 graph.name, architecture.name, mapping.method,
                 tuple(fault_counts), fault_seed,
+                config_token(noc_config), config_token(pso_config),
             ),
         )
         curve.points.extend(run.results)
@@ -354,3 +371,220 @@ def run_fault_sweep(
         for i, n_faults in enumerate(fault_counts):
             curve.points.append(fault_point(i, n_faults))
     return curve
+
+
+def run_fault_campaign(
+    graph: SpikeGraph,
+    architecture: Architecture,
+    mappings: Optional[dict] = None,
+    fault_levels: Sequence[int] = (1, 2, 4),
+    draws: int = 8,
+    campaign_seed: int = 0,
+    method: str = "pso",
+    seed: SeedLike = None,
+    pso_config: Optional[PSOConfig] = None,
+    noc_config: Optional[NocConfig] = None,
+    spare_capacity: float = 0.0,
+    workers: int = 1,
+    threads=None,
+    cache=None,
+    state_dir: Optional[str] = None,
+    campaign: str = "fault-campaign",
+) -> "CampaignSummary":
+    """Monte-Carlo fault campaign: N seeded draws per fault level.
+
+    Where :func:`run_fault_sweep` rests a resilience claim on a single
+    seeded fault draw per level, a campaign samples the fault
+    *distribution*: every ``(level, draw)`` cell gets its own child
+    seed via :func:`~repro.utils.rng.derive_seed`, so draws are
+    independent yet individually reproducible — the same
+    ``campaign_seed`` always regenerates the same fault sets,
+    regardless of execution order.
+
+    Parameters
+    ----------
+    mappings:
+        ``{label: MappingResult}`` mappings to measure under identical
+        fault draws (e.g. a fault-aware vs. a baseline mapping).
+        ``None`` maps the graph once with ``method``/``seed``/
+        ``spare_capacity`` and labels it ``method``.
+    fault_levels / draws:
+        Link-fault counts to sweep, and seeded draws per level.
+    workers:
+        Draw-level thread fan-out (``workers > 1``).  Each draw's
+        schedules batch through the engine's ``simulate_many`` (the
+        threaded batch kernel when compiled with OpenMP), and draws run
+        concurrently on a thread pool — the C kernel releases the GIL,
+        so independent draws overlap.  Results are assembled by draw
+        index and therefore bit-identical to the serial path.
+    state_dir:
+        Checkpoint directory: every completed draw is persisted through
+        :func:`~repro.framework.service.run_sweep_resumable` (serial
+        execution), so a killed campaign recomputes only missing draws.
+        The manifest fingerprint covers the mappings' assignments, the
+        levels/draws grid, the campaign seed and the NoC config.
+    """
+    from repro.metrics.report import CampaignDraw, CampaignSummary
+    from repro.utils.rng import derive_seed
+
+    if draws <= 0:
+        raise ValueError(f"draws must be positive, got {draws}")
+    if mappings is None:
+        mappings = {
+            method: map_snn(
+                graph, architecture, method=method, seed=seed,
+                pso_config=pso_config, noc_config=noc_config, cache=cache,
+                spare_capacity=spare_capacity,
+            )
+        }
+    if not mappings:
+        raise ValueError("campaign needs at least one mapping to measure")
+    labels = tuple(mappings)
+
+    if cache is not None:
+        healthy = cache.topology(architecture)
+    else:
+        healthy = architecture.build_topology()
+
+    def schedule_for(label: str, topology: Topology) -> ColumnarSchedule:
+        if cache is not None:
+            return cache.schedule(
+                graph, mappings[label].assignment, topology,
+                architecture.cycles_per_ms,
+            )
+        return build_injections(
+            graph,
+            mappings[label].assignment,
+            topology,
+            cycles_per_ms=architecture.cycles_per_ms,
+        )
+
+    def simulate_all(topology: Topology) -> List[NocStats]:
+        """One engine per fabric; all labels' schedules in one batch."""
+        schedules = [schedule_for(label, topology) for label in labels]
+        engine = build_interconnect(topology, config=noc_config)
+        if hasattr(engine, "simulate_many"):
+            return list(engine.simulate_many(schedules, threads=threads))
+        return [engine.simulate(s) for s in schedules]
+
+    def make_draw(
+        label: str, level: int, draw: int, fault_seed, failed,
+        stats: NocStats, topology: Topology,
+    ) -> CampaignDraw:
+        return CampaignDraw(
+            mapping=label,
+            level=level,
+            draw=draw,
+            fault_seed=fault_seed,
+            failed_links=tuple(tuple(link) for link in failed),
+            mean_latency_cycles=stats.mean_latency(),
+            max_latency_cycles=stats.max_latency(),
+            global_energy_pj=architecture.energy.global_energy_pj(
+                stats, topology
+            ),
+            delivered_packets=stats.delivered_count,
+            undelivered_packets=stats.undelivered_count,
+        )
+
+    obs = get_observer()
+    campaign_span = obs.span(
+        "run_fault_campaign",
+        graph=graph.name,
+        levels=len(tuple(fault_levels)),
+        draws=draws,
+        mappings=len(labels),
+    )
+    with campaign_span:
+        if obs.enabled:
+            obs.inc("campaign.runs")
+
+        summary = CampaignSummary(
+            app=graph.name,
+            topology_kind=healthy.kind,
+            levels=tuple(int(v) for v in fault_levels),
+            draws_per_level=draws,
+            labels=labels,
+        )
+        for label, stats in zip(labels, simulate_all(healthy)):
+            summary.healthy[label] = make_draw(
+                label, 0, -1, None, (), stats, healthy
+            )
+
+        items = [
+            (int(level), draw)
+            for level in fault_levels
+            for draw in range(draws)
+        ]
+
+        def draw_point(index: int, item) -> Tuple["CampaignDraw", ...]:
+            level, draw = item
+            child = derive_seed(campaign_seed, level, draw)
+            with obs.span("campaign.draw", level=level, draw=draw):
+                if level:
+                    if cache is not None:
+                        topology, failed = cache.degraded_topology(
+                            healthy, level, child
+                        )
+                    else:
+                        topology, failed = inject_random_faults(
+                            healthy, level, seed=child
+                        )
+                else:
+                    topology, failed = healthy, ()
+                results = tuple(
+                    make_draw(label, level, draw, child, failed, stats,
+                              topology)
+                    for label, stats in zip(labels, simulate_all(topology))
+                )
+            if obs.enabled:
+                obs.inc("campaign.draws")
+                obs.inc(
+                    "campaign.survivals",
+                    sum(1 for r in results if r.survived),
+                )
+            return results
+
+        if state_dir is not None:
+            from repro.framework.artifacts import config_token, stable_hash
+            from repro.framework.service import run_sweep_resumable
+
+            run = run_sweep_resumable(
+                items,
+                draw_point,
+                state_dir,
+                campaign=campaign,
+                fingerprint=(
+                    graph.name,
+                    architecture.name,
+                    tuple(
+                        (label, stable_hash(
+                            ("assignment", mappings[label].assignment)
+                        ))
+                        for label in labels
+                    ),
+                    tuple(int(v) for v in fault_levels),
+                    draws,
+                    campaign_seed,
+                    config_token(noc_config),
+                ),
+            )
+            per_item = run.results
+        elif workers > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            # The heavy per-draw work (the batched C kernel call)
+            # releases the GIL, so independent draws overlap on a thread
+            # pool; assembling by index keeps the output order — and
+            # therefore the summary — bit-identical to the serial loop.
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                per_item = list(pool.map(
+                    draw_point, range(len(items)), items
+                ))
+        else:
+            per_item = [draw_point(i, item) for i, item in enumerate(items)]
+
+        for results in per_item:
+            summary.draws.extend(results)
+        if obs.enabled:
+            campaign_span.set(total_draws=len(items))
+    return summary

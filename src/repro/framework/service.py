@@ -91,6 +91,7 @@ class MapRequest:
     threads: Any = None
     faults: int = 0
     fault_seed: SeedLike = None
+    spare_capacity: float = 0.0
     warm: bool = False
     label: Optional[str] = None
 
@@ -526,6 +527,7 @@ class MappingService:
             threads=request.threads,
             faults=request.faults,
             fault_seed=request.fault_seed,
+            spare_capacity=request.spare_capacity,
             cache=self.cache,
             coalescer=coalescer,
             warm_seeds=warm_seeds,

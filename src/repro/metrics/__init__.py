@@ -26,6 +26,9 @@ from repro.metrics.isi import (
     isi_distortion_worst,
 )
 from repro.metrics.report import (
+    CampaignDraw,
+    CampaignLevelStats,
+    CampaignSummary,
     DegradationCurve,
     DegradationPoint,
     MetricReport,
@@ -41,6 +44,9 @@ __all__ = [
     "isi_distortion_worst",
     "MetricReport",
     "build_report",
+    "CampaignDraw",
+    "CampaignLevelStats",
+    "CampaignSummary",
     "DegradationCurve",
     "DegradationPoint",
     "degradation_point",

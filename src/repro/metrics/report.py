@@ -15,7 +15,9 @@ onto detours.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.mapper import MappingResult
 from repro.hardware.architecture import Architecture
@@ -165,9 +167,19 @@ class DegradationCurve:
 
     @property
     def healthy(self) -> DegradationPoint:
-        if not self.points:
-            raise ValueError("degradation curve has no points")
-        return self.points[0]
+        """The ``n_faults == 0`` point every overhead is measured against.
+
+        Raises a clear ``ValueError`` when the sweep skipped the healthy
+        fabric — overheads against an already-degraded baseline would be
+        silently wrong.
+        """
+        for point in self.points:
+            if point.n_faults == 0:
+                return point
+        raise ValueError(
+            "degradation curve has no healthy (0-fault) point; include "
+            "fault count 0 in the sweep to measure overheads against"
+        )
 
     def latency_overhead(self, point: DegradationPoint) -> float:
         """Mean-latency multiplier of ``point`` over the healthy fabric."""
@@ -205,6 +217,199 @@ class DegradationCurve:
                 "max latency (cy)",
                 "global uJ",
                 "disorder %",
+                "undelivered",
+            ],
+            rows,
+        )
+
+
+@dataclass(frozen=True)
+class CampaignDraw:
+    """One Monte-Carlo fault draw's metrics for one mapping.
+
+    ``fault_seed`` is the child seed the draw's faults were drawn with
+    (``None`` for the healthy baseline measurement, which has no
+    faults to draw).
+    """
+
+    mapping: str
+    level: int  # number of injected link faults
+    draw: int  # draw index within the level (-1 for the healthy baseline)
+    fault_seed: Optional[int]
+    failed_links: Tuple[Tuple[int, int], ...]
+    mean_latency_cycles: float
+    max_latency_cycles: int
+    global_energy_pj: float
+    delivered_packets: int
+    undelivered_packets: int
+
+    @property
+    def survived(self) -> bool:
+        """Full delivery: every injected packet reached its sink."""
+        return self.undelivered_packets == 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mapping": self.mapping,
+            "level": self.level,
+            "draw": self.draw,
+            "fault_seed": self.fault_seed,
+            "failed_links": [list(link) for link in self.failed_links],
+            "mean_latency_cycles": self.mean_latency_cycles,
+            "max_latency_cycles": self.max_latency_cycles,
+            "global_energy_pj": self.global_energy_pj,
+            "delivered_packets": self.delivered_packets,
+            "undelivered_packets": self.undelivered_packets,
+            "survived": self.survived,
+        }
+
+
+@dataclass(frozen=True)
+class CampaignLevelStats:
+    """Aggregate of one mapping's draws at one fault level."""
+
+    mapping: str
+    level: int
+    draws: int
+    survival_rate: float  # fraction of draws with full delivery
+    mean_latency_overhead: float  # mean latency multiplier vs healthy
+    p95_latency_overhead: float
+    mean_energy_overhead: float
+    mean_undelivered: float
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "mapping": self.mapping,
+            "level": self.level,
+            "draws": self.draws,
+            "survival_rate": self.survival_rate,
+            "mean_latency_overhead": self.mean_latency_overhead,
+            "p95_latency_overhead": self.p95_latency_overhead,
+            "mean_energy_overhead": self.mean_energy_overhead,
+            "mean_undelivered": self.mean_undelivered,
+        }
+
+
+def _ratio(value: float, base: float) -> float:
+    return value / base if base else 1.0
+
+
+@dataclass
+class CampaignSummary:
+    """Monte-Carlo fault campaign results (see ``run_fault_campaign``).
+
+    Holds the per-draw records of every ``(mapping, level, draw)``
+    triple plus one healthy (0-fault) baseline per mapping, and
+    aggregates them into survival rates and latency/energy overhead
+    distributions — robustness measured over a fault *distribution*
+    instead of a single seeded draw.
+    """
+
+    app: str
+    topology_kind: str
+    levels: Tuple[int, ...]
+    draws_per_level: int
+    labels: Tuple[str, ...]
+    healthy: Dict[str, CampaignDraw] = field(default_factory=dict)
+    draws: List[CampaignDraw] = field(default_factory=list)
+
+    def draws_for(self, mapping: str, level: int) -> List[CampaignDraw]:
+        return [
+            d for d in self.draws if d.mapping == mapping and d.level == level
+        ]
+
+    def baseline(self, mapping: str) -> CampaignDraw:
+        try:
+            return self.healthy[mapping]
+        except KeyError:
+            raise ValueError(
+                f"campaign has no healthy baseline for mapping "
+                f"{mapping!r} (have {sorted(self.healthy)})"
+            ) from None
+
+    def survival_rate(self, mapping: str, level: int) -> float:
+        draws = self.draws_for(mapping, level)
+        if not draws:
+            raise ValueError(
+                f"campaign has no draws for mapping {mapping!r} "
+                f"at level {level}"
+            )
+        return sum(1 for d in draws if d.survived) / len(draws)
+
+    def latency_overheads(self, mapping: str, level: int) -> List[float]:
+        base = self.baseline(mapping).mean_latency_cycles
+        return [
+            _ratio(d.mean_latency_cycles, base)
+            for d in self.draws_for(mapping, level)
+        ]
+
+    def level_stats(self, mapping: str, level: int) -> CampaignLevelStats:
+        draws = self.draws_for(mapping, level)
+        if not draws:
+            raise ValueError(
+                f"campaign has no draws for mapping {mapping!r} "
+                f"at level {level}"
+            )
+        base = self.baseline(mapping)
+        overheads = np.asarray(self.latency_overheads(mapping, level))
+        energy = [
+            _ratio(d.global_energy_pj, base.global_energy_pj) for d in draws
+        ]
+        return CampaignLevelStats(
+            mapping=mapping,
+            level=level,
+            draws=len(draws),
+            survival_rate=self.survival_rate(mapping, level),
+            mean_latency_overhead=float(overheads.mean()),
+            p95_latency_overhead=float(np.percentile(overheads, 95.0)),
+            mean_energy_overhead=float(np.mean(energy)),
+            mean_undelivered=float(
+                np.mean([d.undelivered_packets for d in draws])
+            ),
+        )
+
+    def stats(self) -> List[CampaignLevelStats]:
+        return [
+            self.level_stats(label, level)
+            for label in self.labels
+            for level in self.levels
+        ]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "app": self.app,
+            "topology_kind": self.topology_kind,
+            "levels": list(self.levels),
+            "draws_per_level": self.draws_per_level,
+            "labels": list(self.labels),
+            "healthy": {k: v.to_dict() for k, v in self.healthy.items()},
+            "draws": [d.to_dict() for d in self.draws],
+            "stats": [s.to_dict() for s in self.stats()],
+        }
+
+    def table(self) -> str:
+        rows = [
+            (
+                s.mapping,
+                str(s.level),
+                str(s.draws),
+                f"{s.survival_rate * 100.0:.0f}%",
+                f"{s.mean_latency_overhead:.3f}x",
+                f"{s.p95_latency_overhead:.3f}x",
+                f"{s.mean_energy_overhead:.3f}x",
+                f"{s.mean_undelivered:.1f}",
+            )
+            for s in self.stats()
+        ]
+        return format_table(
+            [
+                "mapping",
+                "faults",
+                "draws",
+                "survival",
+                "mean latency",
+                "p95 latency",
+                "mean energy",
                 "undelivered",
             ],
             rows,

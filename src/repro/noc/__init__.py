@@ -62,6 +62,8 @@ from repro.noc.traffic import (
 )
 from repro.noc.faults import (
     FaultSet,
+    FaultTimeline,
+    FaultWindow,
     apply_faults,
     bridge_chains,
     degrade_topology,
@@ -87,6 +89,8 @@ __all__ = [
     "west_first_routing",
     "shortest_path_routing",
     "FaultSet",
+    "FaultTimeline",
+    "FaultWindow",
     "apply_faults",
     "bridge_chains",
     "degrade_topology",

@@ -117,6 +117,26 @@ class FaultSet:
             f"{len(self.faulty_crossbars)} faulty crossbars"
         )
 
+    def __or__(self, other: "FaultSet") -> "FaultSet":
+        """Union of two fault sets (overlapping transient windows).
+
+        Link, router and crossbar faults are set unions; a bridge
+        degraded by both sides retrains to the *slower* of the two
+        rates (``max`` of the extra cycles), since hardware cannot run
+        faster than its worst impairment.
+        """
+        if not isinstance(other, FaultSet):
+            return NotImplemented
+        degraded = dict(self.degraded_bridges)
+        for bridge, extra in other.degraded_bridges.items():
+            degraded[bridge] = max(degraded.get(bridge, 0), extra)
+        return FaultSet(
+            dead_links=self.dead_links | other.dead_links,
+            dead_routers=self.dead_routers | other.dead_routers,
+            degraded_bridges=degraded,
+            faulty_crossbars=self.faulty_crossbars | other.faulty_crossbars,
+        )
+
 
 def bridge_chains(topology) -> List[List[int]]:
     """Ordered relay chains of a multi-chip fabric, one per bridge.
@@ -434,3 +454,92 @@ def inject_random_faults(
         obs.inc("faults.random_injections", len(chosen))
         obs.event("fault.inject_random", n_faults=len(chosen))
     return current, chosen
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One transient fault episode: ``faults`` held over ``[arrive, clear)``.
+
+    ``clear=None`` marks a permanent fault (never heals).  The window is
+    half-open so a fault clearing at ``t`` is already gone when the
+    fabric is inspected at ``t`` — arrive and clear edges compose
+    without double counting.
+    """
+
+    faults: FaultSet
+    arrive: float = 0.0
+    clear: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.clear is not None and self.clear <= self.arrive:
+            raise ValueError(
+                f"fault window must clear after it arrives: "
+                f"arrive={self.arrive}, clear={self.clear}"
+            )
+
+    def active_at(self, time: float) -> bool:
+        return self.arrive <= time and (self.clear is None or time < self.clear)
+
+
+@dataclass(frozen=True)
+class FaultTimeline:
+    """A schedule of transient :class:`FaultWindow` episodes.
+
+    The fabric's state at any instant is the *union* of the fault sets
+    whose windows cover it (see :meth:`FaultSet.__or__`), so faults may
+    overlap, arrive while others persist, and clear independently.  A
+    cleared fault re-admits its routers and links: :meth:`topology_at`
+    returns the untouched healthy topology whenever no window is
+    active, which makes healed fabrics trivially bit-identical to the
+    pre-fault fabric on every simulation backend.
+    """
+
+    windows: Tuple[FaultWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "windows", tuple(self.windows))
+
+    def active_at(self, time: float) -> FaultSet:
+        """Union of every fault set whose window covers ``time``."""
+        active = FaultSet()
+        for window in self.windows:
+            if window.active_at(time):
+                active = active | window.faults
+        return active
+
+    def edges(self) -> List[float]:
+        """Sorted distinct instants where the active fault set changes."""
+        times = set()
+        for window in self.windows:
+            times.add(window.arrive)
+            if window.clear is not None:
+                times.add(window.clear)
+        return sorted(times)
+
+    def crossbars_at(self, time: float) -> FrozenSet[int]:
+        """Faulty crossbar indices at ``time`` (for the runtime layer)."""
+        return self.active_at(time).faulty_crossbars
+
+    def topology_at(self, healthy: Topology, time: float) -> Topology:
+        """The fabric as the NoC sees it at ``time``.
+
+        Crossbar faults never alter the graph, so a timeline that only
+        carries crossbar faults — or no active window at all — returns
+        ``healthy`` itself, unchanged.
+        """
+        active = self.active_at(time)
+        structural = FaultSet(
+            dead_links=active.dead_links,
+            dead_routers=active.dead_routers,
+            degraded_bridges=active.degraded_bridges,
+        )
+        if not structural:
+            return healthy
+        return apply_faults(healthy, active)
+
+    def describe(self) -> str:
+        permanent = sum(1 for w in self.windows if w.clear is None)
+        return (
+            f"FaultTimeline: {len(self.windows)} windows "
+            f"({permanent} permanent), {len(self.edges())} edges"
+        )

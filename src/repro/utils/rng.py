@@ -43,13 +43,18 @@ def spawn_rngs(seed: SeedLike, n: int) -> Sequence[np.random.Generator]:
     return [np.random.default_rng(s) for s in seq.spawn(n)]
 
 
-def derive_seed(seed: SeedLike, salt: int) -> Optional[int]:
-    """Derive a deterministic child seed from ``seed`` and an integer salt.
+def derive_seed(seed: SeedLike, salt: int, *salts: int) -> Optional[int]:
+    """Derive a deterministic child seed from ``seed`` and integer salts.
 
-    Returns ``None`` when ``seed`` is ``None`` (preserving non-determinism).
+    Extra salts fan one parent seed out into a whole family of
+    independent child streams (e.g. ``derive_seed(seed, level, draw)``
+    for Monte-Carlo campaigns — each (level, draw) cell gets its own
+    reproducible stream).  Returns ``None`` when ``seed`` is ``None``
+    (preserving non-determinism).
     """
     if seed is None:
         return None
     if isinstance(seed, np.random.Generator):
         return int(seed.integers(0, 2**63 - 1))
-    return int(np.random.SeedSequence([seed, salt]).generate_state(1)[0])
+    entropy = [seed, salt, *(int(s) for s in salts)]
+    return int(np.random.SeedSequence(entropy).generate_state(1)[0])

@@ -226,3 +226,57 @@ class TestNocInLoopVariant:
         ).optimize()
         assert result.best_fitness < UNDELIVERED_PENALTY
         assert result.n_evaluations == 24
+
+
+class TestBalancePenalty:
+    """Fault-aware spreading: over-watermark cluster fill is penalized."""
+
+    def test_penalty_matches_bruteforce(self, tiny_graph):
+        fit = InterconnectFitness(
+            tiny_graph, balance_watermark=3, balance_weight=2.0
+        )
+        plain = InterconnectFitness(tiny_graph)
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            a = rng.integers(0, 3, size=8)
+            counts = np.bincount(a, minlength=3)
+            overflow = np.clip(counts - 3, 0, None)
+            expected = plain.evaluate(a) + 2.0 * float(
+                (overflow.astype(float) ** 2).sum()
+            )
+            assert fit.evaluate(a) == pytest.approx(expected)
+
+    def test_batch_agrees_with_single(self, tiny_graph):
+        fit = InterconnectFitness(
+            tiny_graph, balance_watermark=3, balance_weight=1.5
+        )
+        rng = np.random.default_rng(5)
+        batch = rng.integers(0, 3, size=(6, 8))
+        values = fit.evaluate_batch(batch)
+        for row, v in zip(batch, values):
+            assert fit.evaluate(row) == pytest.approx(v)
+
+    def test_balanced_assignment_unpenalized(self, tiny_graph):
+        fit = InterconnectFitness(
+            tiny_graph, balance_watermark=4, balance_weight=10.0
+        )
+        plain = InterconnectFitness(tiny_graph)
+        a = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        assert fit.evaluate(a) == pytest.approx(plain.evaluate(a))
+
+    def test_zero_weight_is_default(self, tiny_graph):
+        fit = InterconnectFitness(tiny_graph, balance_weight=0.0)
+        plain = InterconnectFitness(tiny_graph)
+        rng = np.random.default_rng(6)
+        a = rng.integers(0, 2, size=8)
+        assert fit.evaluate(a) == plain.evaluate(a)
+
+    def test_validation(self, tiny_graph):
+        with pytest.raises(ValueError, match="balance_weight"):
+            InterconnectFitness(tiny_graph, balance_weight=-1.0)
+        with pytest.raises(ValueError, match="watermark"):
+            InterconnectFitness(tiny_graph, balance_weight=1.0)
+        with pytest.raises(ValueError, match="watermark"):
+            InterconnectFitness(
+                tiny_graph, balance_weight=1.0, balance_watermark=0
+            )

@@ -305,3 +305,91 @@ class TestFaultEvents:
         epoch = rm.remap_epoch()
         assert epoch.moves == []
         assert not rm.evacuated(0)
+
+
+class TestHealEvents:
+    """Transient faults: a cleared crossbar is re-admitted for load."""
+
+    def _three_cluster_remapper(self, tiny_graph, **kwargs):
+        return RuntimeRemapper(
+            tiny_graph, n_clusters=3, capacity=4,
+            assignment=np.array([0, 0, 0, 0, 1, 1, 1, 1]), **kwargs,
+        )
+
+    def test_clear_reopens_cluster(self, tiny_graph):
+        rm = self._three_cluster_remapper(tiny_graph, migration_budget=8)
+        rm.mark_crossbar_faulty(0)
+        rm.remap_epoch()
+        assert rm.evacuated(0)
+        rm.mark_crossbar_healed(0)
+        assert rm.faulty_clusters == set()
+        # The healed cluster is a first-class citizen again: a later
+        # fault elsewhere evacuates straight onto it (capacity-wise
+        # the only possible refuge), under the ordinary budget.
+        rm.mark_crossbar_faulty(2)
+        rm.remap_epoch()
+        assert rm.evacuated(2)
+        assert len(rm.neurons_on(0)) == 4
+        assert rm.fitness() == 5.0
+
+    def test_clear_unknown_fault_rejected(self, tiny_graph):
+        rm = self._three_cluster_remapper(tiny_graph)
+        with pytest.raises(ValueError, match="not marked faulty"):
+            rm.mark_crossbar_healed(2)
+
+    def test_heal_log_records_events(self, tiny_graph):
+        rm = self._three_cluster_remapper(tiny_graph)
+        rm.mark_crossbar_faulty(0)
+        event = FaultEvent(crossbar=0, time=9.0, description="healed")
+        rm.clear_fault(event)
+        assert rm.heal_log == [event]
+        assert rm.fault_log[-1].crossbar == 0  # arrival still on record
+
+    def test_sync_faults_diffs_target_set(self, tiny_graph):
+        rm = self._three_cluster_remapper(tiny_graph, migration_budget=8)
+        arrived, cleared = rm.sync_faults({0}, time=1.0)
+        assert (arrived, cleared) == ([0], [])
+        assert rm.faulty_clusters == {0}
+        arrived, cleared = rm.sync_faults({2}, time=2.0)
+        assert (arrived, cleared) == ([2], [0])
+        assert rm.faulty_clusters == {2}
+        # No-op sync reports nothing.
+        assert rm.sync_faults({2}, time=3.0) == ([], [])
+
+
+class TestRunFaultTimeline:
+    def _three_cluster_remapper(self, tiny_graph, **kwargs):
+        return RuntimeRemapper(
+            tiny_graph, n_clusters=3, capacity=4,
+            assignment=np.array([0, 0, 0, 0, 1, 1, 1, 1]), **kwargs,
+        )
+
+    def _transient(self):
+        from repro.noc.faults import FaultSet, FaultTimeline, FaultWindow
+
+        return FaultTimeline([
+            FaultWindow(FaultSet(faulty_crossbars=[0]), arrive=1.0,
+                        clear=5.0),
+        ])
+
+    def test_arrive_then_clear_cycle(self, tiny_graph):
+        from repro.core.runtime import run_fault_timeline
+
+        rm = self._three_cluster_remapper(tiny_graph, migration_budget=8)
+        steps = run_fault_timeline(rm, self._transient(), epochs_per_edge=2)
+        assert [s.time for s in steps] == [1.0, 5.0]
+        assert steps[0].arrived == (0,) and steps[0].cleared == ()
+        assert steps[1].arrived == () and steps[1].cleared == (0,)
+        # Evacuation happened at the arrive edge...
+        assert all(m.from_cluster == 0 for m in steps[0].epochs[0].moves)
+        # ...and the heal edge left the remapper fault-free at optimum.
+        assert rm.faulty_clusters == set()
+        assert rm.fitness() == 5.0
+        assert len(rm.history) == 4  # 2 edges x 2 epochs, all audited
+
+    def test_epochs_per_edge_validated(self, tiny_graph):
+        from repro.core.runtime import run_fault_timeline
+
+        rm = self._three_cluster_remapper(tiny_graph)
+        with pytest.raises(ValueError):
+            run_fault_timeline(rm, self._transient(), epochs_per_edge=0)

@@ -6,6 +6,8 @@ from repro.metrics.report import build_report
 from repro.noc.fastsim import FastInterconnect
 from repro.noc.faults import (
     FaultSet,
+    FaultTimeline,
+    FaultWindow,
     apply_faults,
     bridge_chains,
     degrade_topology,
@@ -386,3 +388,131 @@ class TestCrossBackendDegraded:
         ]
         stats = Interconnect(topo).simulate(injections)
         assert stats.undelivered_count == 0
+
+
+class TestFaultSetUnion:
+    def test_union_merges_all_fields(self):
+        a = FaultSet(dead_links=[(0, 1)], dead_routers=[3],
+                     faulty_crossbars=[0])
+        b = FaultSet(dead_links=[(1, 2)], faulty_crossbars=[5])
+        u = a | b
+        assert u.dead_links == frozenset({(0, 1), (1, 2)})
+        assert u.dead_routers == frozenset({3})
+        assert u.faulty_crossbars == frozenset({0, 5})
+
+    def test_union_keeps_worst_bridge_degradation(self):
+        a = FaultSet(degraded_bridges={0: 2, 1: 1})
+        b = FaultSet(degraded_bridges={0: 1, 2: 4})
+        assert (a | b).degraded_bridges == {0: 2, 1: 1, 2: 4}
+
+    def test_union_with_non_faultset_rejected(self):
+        with pytest.raises(TypeError):
+            FaultSet() | 3
+
+
+class TestFaultWindow:
+    def test_half_open_interval(self):
+        w = FaultWindow(FaultSet(dead_routers=[1]), arrive=2.0, clear=5.0)
+        assert not w.active_at(1.9)
+        assert w.active_at(2.0)
+        assert w.active_at(4.9)
+        assert not w.active_at(5.0)
+
+    def test_permanent_window_never_clears(self):
+        w = FaultWindow(FaultSet(dead_routers=[1]), arrive=3.0)
+        assert w.active_at(1e9)
+        assert not w.active_at(2.9)
+
+    def test_clear_before_arrive_rejected(self):
+        with pytest.raises(ValueError, match="clear after"):
+            FaultWindow(FaultSet(), arrive=5.0, clear=5.0)
+
+
+class TestFaultTimeline:
+    def _timeline(self):
+        return FaultTimeline([
+            FaultWindow(FaultSet(dead_links=[(0, 1)]), arrive=0.0,
+                        clear=10.0),
+            FaultWindow(FaultSet(faulty_crossbars=[2]), arrive=5.0,
+                        clear=15.0),
+            FaultWindow(FaultSet(dead_routers=[4]), arrive=20.0),
+        ])
+
+    def test_active_union_and_edges(self):
+        tl = self._timeline()
+        assert tl.edges() == [0.0, 5.0, 10.0, 15.0, 20.0]
+        at7 = tl.active_at(7.0)
+        assert at7.dead_links == frozenset({(0, 1)})
+        assert at7.faulty_crossbars == frozenset({2})
+        assert not tl.active_at(16.0)
+        assert tl.crossbars_at(7.0) == frozenset({2})
+        assert tl.crossbars_at(12.0) == frozenset({2})
+
+    def test_topology_identity_when_no_structural_fault(self):
+        """Healed (or crossbar-only) instants hand back the same object,
+        so the re-admitted fabric is trivially bit-identical."""
+        tl = self._timeline()
+        topo = mesh(3)
+        topo.attach_points.remove(4)  # free router 4 for the dead window
+        assert tl.topology_at(topo, 12.0) is topo  # crossbar fault only
+        assert tl.topology_at(topo, 16.0) is topo  # fully healed
+        degraded = tl.topology_at(topo, 3.0)
+        assert degraded is not topo
+        assert not degraded.graph.has_edge(0, 1)
+        dead = tl.topology_at(topo, 25.0)
+        assert 4 not in dead.graph
+
+    def test_describe(self):
+        text = self._timeline().describe()
+        assert "3 windows" in text
+        assert "1 permanent" in text
+        assert "5 edges" in text
+
+    def test_windows_coerced_to_tuple(self):
+        tl = FaultTimeline([FaultWindow(FaultSet(dead_routers=[0]))])
+        assert isinstance(tl.windows, tuple)
+
+
+class TestTransientCrossBackend:
+    """Arrive -> clear -> re-admit must stay bit-identical everywhere."""
+
+    def _phase_stats(self, topo, schedule):
+        ref = Interconnect(topo).simulate(schedule.injections)
+        fast = FastInterconnect(topo, config=NocConfig(backend="fast"))
+        engines = {"reference": ref,
+                   "fast": fast.simulate(schedule.injections)}
+        if fast._ck is not None:
+            fast._ck = None  # pure-Python engine of the fast backend
+            engines["fast-python"] = fast.simulate(schedule.injections)
+        return engines
+
+    @pytest.mark.parametrize("board", [False, True])
+    def test_transient_cycle_bit_identical(self, board):
+        if board:
+            topo = _board(bridge_latency=2)
+            chain = bridge_chains(topo)[0]
+            faults = FaultSet(dead_links=[tuple(chain[:2])])
+        else:
+            topo = mesh_for(9)
+            link = survivable_links(topo)[0]
+            faults = FaultSet(dead_links=[link])
+        tl = FaultTimeline([FaultWindow(faults, arrive=1.0, clear=2.0)])
+        schedule = synthetic_injections(
+            [0.4] * topo.n_attach_points, topo, 80, fanout=3, seed=7
+        )
+        # Phase snapshots: healthy, degraded, healed.
+        phases = {t: tl.topology_at(topo, t) for t in (0.0, 1.5, 3.0)}
+        assert phases[3.0] is topo  # re-admitted, same object
+        baseline = {}
+        for time, phase_topo in phases.items():
+            engines = self._phase_stats(phase_topo, schedule)
+            records = {k: _record_tuples(s) for k, s in engines.items()}
+            first = next(iter(records.values()))
+            assert all(r == first for r in records.values()), (
+                f"backends disagree at t={time}"
+            )
+            baseline[time] = first
+        # The healed fabric reproduces the pre-fault packet records.
+        assert baseline[3.0] == baseline[0.0]
+        # The degraded phase detours: records differ from healthy.
+        assert baseline[1.5] != baseline[0.0]
